@@ -1,0 +1,60 @@
+// Ablation: which parts of XBUILD matter on the correlated IMDB data?
+//
+//   full           all refinement types, marginal-gains scoring
+//   no-expand      edge-expand disabled (histograms keep initial scopes)
+//   no-structural  b-/f-stabilize disabled (label-split partition fixed)
+//   no-scoring     first applicable candidate applied (workload-oblivious
+//                  allocation, the CST/StatiX-style strategy)
+//
+// The paper attributes XSKETCH's advantage to construction that "takes
+// directly into account the assumptions of the estimation framework";
+// no-scoring is the counterfactual.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsketch;
+  bench::DataSet ds = bench::MakeImdb();
+  const size_t budget = bench::BenchBudgetBytes();
+
+  query::WorkloadOptions wopts;
+  wopts.seed = 901;
+  wopts.num_queries = bench::BenchQueries() / 2;
+  query::Workload workload = query::GeneratePositiveWorkload(ds.doc, wopts);
+
+  struct Variant {
+    const char* name;
+    core::BuildOptions opts;
+  };
+  core::BuildOptions base;
+  base.seed = 99;
+  base.budget_bytes = budget;
+
+  Variant variants[4] = {{"full", base},
+                         {"no-expand", base},
+                         {"no-structural", base},
+                         {"no-scoring", base}};
+  variants[1].opts.enable_edge_expand = false;
+  variants[2].opts.enable_structural = false;
+  variants[3].opts.score_candidates = false;
+
+  std::printf("Ablation on %s (%zu elements), budget %.0fKB, %zu queries\n",
+              ds.name.c_str(), ds.doc.size(), budget / 1024.0,
+              workload.queries.size());
+  const double coarse_err = core::XBuild::WorkloadError(
+      core::TwigXSketch::Coarsest(ds.doc, base.coarsest), workload);
+  std::printf("%-14s %10s %12s\n", "variant", "size(KB)", "avg rel err");
+  std::printf("%-14s %10.1f %11.1f%%\n", "coarsest",
+              core::TwigXSketch::Coarsest(ds.doc, base.coarsest).SizeBytes() /
+                  1024.0,
+              coarse_err * 100.0);
+  for (auto& v : variants) {
+    core::TwigXSketch sketch = core::XBuild(ds.doc, v.opts).Build();
+    const double err = core::XBuild::WorkloadError(sketch, workload);
+    std::printf("%-14s %10.1f %11.1f%%\n", v.name,
+                sketch.SizeBytes() / 1024.0, err * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints the rows/series of one paper table or figure.
+// Scale knobs (environment variables, all optional):
+//   XS_BENCH_SCALE    data set scale factor   (default 1.0 = paper scale)
+//   XS_BENCH_QUERIES  workload size           (default 1000, as in §6.1)
+//   XS_BENCH_BUDGET   max synopsis budget KB  (default 50, as in §6.2)
+
+#ifndef XSKETCH_BENCH_BENCH_COMMON_H_
+#define XSKETCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/workload.h"
+#include "xml/document.h"
+
+namespace xsketch::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline double BenchScale() { return EnvDouble("XS_BENCH_SCALE", 1.0); }
+inline int BenchQueries() { return EnvInt("XS_BENCH_QUERIES", 1000); }
+inline size_t BenchBudgetBytes() {
+  return static_cast<size_t>(EnvDouble("XS_BENCH_BUDGET", 50.0) * 1024);
+}
+
+struct DataSet {
+  std::string name;
+  xml::Document doc;
+};
+
+inline DataSet MakeXMark() {
+  return {"XMark", data::GenerateXMark({.seed = 42, .scale = BenchScale()})};
+}
+inline DataSet MakeImdb() {
+  return {"IMDB", data::GenerateImdb({.seed = 7, .scale = BenchScale()})};
+}
+inline DataSet MakeSwissProt() {
+  return {"SProt",
+          data::GenerateSwissProt({.seed = 11, .scale = BenchScale()})};
+}
+
+// Per-query relative errors (sanity-bounded), for outlier analysis.
+inline std::vector<double> PerQueryErrors(
+    const query::Workload& workload, const std::vector<double>& estimates,
+    double sanity) {
+  std::vector<double> errors;
+  errors.reserve(workload.queries.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double c = static_cast<double>(workload.queries[i].true_count);
+    errors.push_back(std::abs(estimates[i] - c) / std::max(sanity, c));
+  }
+  return errors;
+}
+
+// Runs one XBUILD sweep, snapshotting workload error whenever the synopsis
+// size crosses a checkpoint. Returns (size KB, error) pairs including the
+// coarsest synopsis and the final one.
+struct SweepPoint {
+  double size_kb;
+  double error;
+};
+
+inline std::vector<SweepPoint> BudgetSweep(
+    const xml::Document& doc, const query::Workload& workload,
+    core::BuildOptions opts, const std::vector<size_t>& checkpoints) {
+  std::vector<SweepPoint> points;
+  core::TwigXSketch coarse = core::TwigXSketch::Coarsest(doc, opts.coarsest);
+  points.push_back({coarse.SizeBytes() / 1024.0,
+                    core::XBuild::WorkloadError(coarse, workload)});
+
+  size_t next_checkpoint = 0;
+  while (next_checkpoint < checkpoints.size() &&
+         checkpoints[next_checkpoint] <= coarse.SizeBytes()) {
+    ++next_checkpoint;
+  }
+  core::XBuild build(doc, opts);
+  core::TwigXSketch final_sketch = build.Build(
+      [&](const core::TwigXSketch& sketch, size_t size) {
+        if (next_checkpoint < checkpoints.size() &&
+            size >= checkpoints[next_checkpoint]) {
+          points.push_back({size / 1024.0,
+                            core::XBuild::WorkloadError(sketch, workload)});
+          while (next_checkpoint < checkpoints.size() &&
+                 checkpoints[next_checkpoint] <= size) {
+            ++next_checkpoint;
+          }
+        }
+      });
+  points.push_back({final_sketch.SizeBytes() / 1024.0,
+                    core::XBuild::WorkloadError(final_sketch, workload)});
+  return points;
+}
+
+inline std::vector<size_t> DefaultCheckpoints(size_t coarse_bytes,
+                                              size_t budget_bytes,
+                                              int count = 5) {
+  std::vector<size_t> out;
+  if (budget_bytes <= coarse_bytes) return out;
+  const size_t step = (budget_bytes - coarse_bytes) / (count + 1);
+  for (int i = 1; i <= count; ++i) out.push_back(coarse_bytes + i * step);
+  return out;
+}
+
+}  // namespace xsketch::bench
+
+#endif  // XSKETCH_BENCH_BENCH_COMMON_H_

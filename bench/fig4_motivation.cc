@@ -1,0 +1,62 @@
+// Figure 4 (motivation, §3.2): two documents with identical zero-error
+// single-path XSKETCH synopses whose twig selectivities differ by 5x.
+// The Twig XSKETCH's 2-D edge histogram separates them exactly; collapsing
+// it to one bucket (single-path information only) cannot, and neither can
+// the CST baseline (path statistics + branch independence).
+
+#include <cstdio>
+
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "cst/cst.h"
+#include "data/figures.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+
+int main() {
+  using namespace xsketch;
+  const char* kTwig = "for t0 in //a, t1 in t0/b, t2 in t0/c";
+
+  std::printf("Figure 4: twig query {A, A/B, A/C} over two documents with\n"
+              "identical single-path synopses\n");
+  std::printf("%-10s %10s %18s %20s %12s\n", "document", "exact",
+              "twig-xsketch", "1-bucket(=path)", "CST");
+
+  struct Doc {
+    const char* name;
+    xml::Document doc;
+  } docs[] = {
+      {"Fig4(a)", data::MakeFigure4A()},
+      {"Fig4(b)", data::MakeFigure4B()},
+  };
+
+  for (auto& d : docs) {
+    auto twig = query::ParseForClause(kTwig, d.doc.tags());
+    if (!twig.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   twig.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t exact =
+        query::ExactEvaluator(d.doc).Selectivity(twig.value());
+
+    core::CoarsestOptions joint;
+    joint.max_initial_dims = 2;  // the 2-D (b, c) edge histogram
+    core::TwigXSketch full = core::TwigXSketch::Coarsest(d.doc, joint);
+    core::CoarsestOptions one_bucket;
+    one_bucket.initial_buckets = 1;
+    core::TwigXSketch collapsed =
+        core::TwigXSketch::Coarsest(d.doc, one_bucket);
+    cst::CorrelatedSuffixTree baseline =
+        cst::CorrelatedSuffixTree::Build(d.doc, {});
+
+    std::printf("%-10s %10lu %18.1f %20.1f %12.1f\n", d.name,
+                static_cast<unsigned long>(exact),
+                core::Estimator(full).Estimate(twig.value()),
+                core::Estimator(collapsed).Estimate(twig.value()),
+                baseline.Estimate(twig.value()));
+  }
+  std::printf("\npaper: 2000 vs 10100 exact tuples; any summary limited to\n"
+              "single-path statistics estimates both documents identically.\n");
+  return 0;
+}

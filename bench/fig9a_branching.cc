@@ -1,0 +1,43 @@
+// Figure 9(a): average relative estimation error vs synopsis size for twig
+// queries with branching predicates (P workload), on XMark and IMDB.
+//
+// Paper shape: IMDB starts at ~124% error at the coarsest summary and
+// drops to ~20% by 50KB; XMark stays low (a few percent) throughout
+// because its structure is uniform.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsketch;
+  const size_t budget = bench::BenchBudgetBytes();
+  std::printf("Figure 9(a): P workload (branching predicates), error vs "
+              "synopsis size\n");
+
+  bench::DataSet sets[] = {bench::MakeImdb(), bench::MakeXMark()};
+  for (auto& ds : sets) {
+    query::WorkloadOptions wopts;
+    wopts.seed = 501;
+    wopts.num_queries = bench::BenchQueries();
+    query::Workload workload =
+        query::GeneratePositiveWorkload(ds.doc, wopts);
+
+    core::BuildOptions bopts;
+    bopts.seed = 99;
+    bopts.budget_bytes = budget;
+    const size_t coarse =
+        core::TwigXSketch::Coarsest(ds.doc, bopts.coarsest).SizeBytes();
+    std::vector<bench::SweepPoint> points = bench::BudgetSweep(
+        ds.doc, workload, bopts,
+        bench::DefaultCheckpoints(coarse, budget));
+
+    std::printf("\n%s (%zu elements, %d queries)\n", ds.name.c_str(),
+                ds.doc.size(), wopts.num_queries);
+    std::printf("%12s %12s\n", "size(KB)", "avg rel err");
+    for (const auto& p : points) {
+      std::printf("%12.1f %11.1f%%\n", p.size_kb, p.error * 100.0);
+    }
+  }
+  return 0;
+}

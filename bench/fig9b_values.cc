@@ -1,0 +1,47 @@
+// Figure 9(b): average relative estimation error vs synopsis size for twig
+// queries with branching AND value predicates (P+V workload), on XMark and
+// IMDB.
+//
+// Paper shape: same downward trend as Fig 9(a) but with higher overall
+// error — value predicates compound the estimation problem (tree joins +
+// selections + semi-joins).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsketch;
+  const size_t budget = bench::BenchBudgetBytes();
+  std::printf("Figure 9(b): P+V workload (branching + value predicates), "
+              "error vs synopsis size\n");
+
+  bench::DataSet sets[] = {bench::MakeImdb(), bench::MakeXMark()};
+  for (auto& ds : sets) {
+    query::WorkloadOptions wopts;
+    wopts.seed = 601;
+    wopts.num_queries = bench::BenchQueries();
+    wopts.value_pred_fraction = 0.5;  // half the queries carry predicates
+    query::Workload workload =
+        query::GeneratePositiveWorkload(ds.doc, wopts);
+
+    core::BuildOptions bopts;
+    bopts.seed = 99;
+    bopts.budget_bytes = budget;
+    bopts.sample_value_pred_fraction = 0.5;  // workload-aware construction
+    const size_t coarse =
+        core::TwigXSketch::Coarsest(ds.doc, bopts.coarsest).SizeBytes();
+    std::vector<bench::SweepPoint> points = bench::BudgetSweep(
+        ds.doc, workload, bopts,
+        bench::DefaultCheckpoints(coarse, budget));
+
+    std::printf("\n%s (%zu elements, %d queries, 50%% with 1-2 value "
+                "predicates on 10%% ranges)\n",
+                ds.name.c_str(), ds.doc.size(), wopts.num_queries);
+    std::printf("%12s %12s\n", "size(KB)", "avg rel err");
+    for (const auto& p : points) {
+      std::printf("%12.1f %11.1f%%\n", p.size_kb, p.error * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark): component throughput and latency.
+// Not a paper table — sanity numbers showing the synopsis fits an
+// optimizer's time constraints: estimation must be orders of magnitude
+// cheaper than evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/imdb.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace {
+
+using namespace xsketch;
+
+const xml::Document& SmallXMark() {
+  static const xml::Document* doc =
+      new xml::Document(data::GenerateXMark({.seed = 42, .scale = 0.2}));
+  return *doc;
+}
+
+const xml::Document& SmallImdb() {
+  static const xml::Document* doc =
+      new xml::Document(data::GenerateImdb({.seed = 7, .scale = 0.2}));
+  return *doc;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  static const std::string* text =
+      new std::string(xml::WriteDocument(SmallXMark()));
+  for (auto _ : state) {
+    auto r = xml::ParseDocument(*text);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text->size()));
+}
+BENCHMARK(BM_XmlParse)->Unit(benchmark::kMillisecond);
+
+void BM_CoarsestSynopsis(benchmark::State& state) {
+  const xml::Document& doc = SmallXMark();
+  for (auto _ : state) {
+    core::TwigXSketch sketch = core::TwigXSketch::Coarsest(doc);
+    benchmark::DoNotOptimize(sketch.SizeBytes());
+  }
+}
+BENCHMARK(BM_CoarsestSynopsis)->Unit(benchmark::kMillisecond);
+
+void BM_CstBuild(benchmark::State& state) {
+  const xml::Document& doc = SmallXMark();
+  for (auto _ : state) {
+    cst::CstOptions opts;
+    opts.budget_bytes = 50 * 1024;
+    auto cst = cst::CorrelatedSuffixTree::Build(doc, opts);
+    benchmark::DoNotOptimize(cst.SizeBytes());
+  }
+}
+BENCHMARK(BM_CstBuild)->Unit(benchmark::kMillisecond);
+
+// Estimation latency per twig query: what the optimizer pays at compile
+// time.
+void BM_EstimateTwig(benchmark::State& state) {
+  const xml::Document& doc = SmallImdb();
+  static const core::TwigXSketch* sketch =
+      new core::TwigXSketch(core::TwigXSketch::Coarsest(doc));
+  query::WorkloadOptions wopts;
+  wopts.seed = 55;
+  wopts.num_queries = 50;
+  static const query::Workload* workload =
+      new query::Workload(query::GeneratePositiveWorkload(doc, wopts));
+  core::Estimator est(*sketch);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        est.Estimate((*workload).queries[i % 50].twig));
+    ++i;
+  }
+}
+BENCHMARK(BM_EstimateTwig)->Unit(benchmark::kMicrosecond);
+
+// Exact evaluation latency: what estimation saves.
+void BM_ExactEvaluate(benchmark::State& state) {
+  const xml::Document& doc = SmallImdb();
+  query::WorkloadOptions wopts;
+  wopts.seed = 55;
+  wopts.num_queries = 20;
+  static const query::Workload* workload =
+      new query::Workload(query::GeneratePositiveWorkload(doc, wopts));
+  query::ExactEvaluator eval(doc);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval.Selectivity((*workload).queries[i % 20].twig));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExactEvaluate)->Unit(benchmark::kMicrosecond);
+
+void BM_CstEstimate(benchmark::State& state) {
+  const xml::Document& doc = SmallImdb();
+  cst::CstOptions copts;
+  copts.budget_bytes = 50 * 1024;
+  static const cst::CorrelatedSuffixTree* cst =
+      new cst::CorrelatedSuffixTree(
+          cst::CorrelatedSuffixTree::Build(doc, copts));
+  query::WorkloadOptions wopts;
+  wopts.seed = 55;
+  wopts.num_queries = 50;
+  wopts.existential_prob = 0.0;
+  static const query::Workload* workload =
+      new query::Workload(query::GeneratePositiveWorkload(doc, wopts));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cst->Estimate((*workload).queries[i % 50].twig));
+    ++i;
+  }
+}
+BENCHMARK(BM_CstEstimate)->Unit(benchmark::kMicrosecond);
+
+// One XBUILD refinement step (candidate generation + scoring + apply).
+void BM_XBuildStep(benchmark::State& state) {
+  const xml::Document& doc = SmallImdb();
+  for (auto _ : state) {
+    core::BuildOptions opts;
+    opts.seed = 3;
+    opts.budget_bytes =
+        core::TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + 64;
+    opts.candidates_per_iteration = 4;
+    opts.sample_queries = 8;
+    core::TwigXSketch sketch = core::XBuild(doc, opts).Build();
+    benchmark::DoNotOptimize(sketch.SizeBytes());
+  }
+}
+BENCHMARK(BM_XBuildStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

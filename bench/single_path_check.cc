@@ -1,0 +1,67 @@
+// §6.2, "Twig Queries with Simple Paths" side experiment:
+//
+//   "We have also performed a limited set of experiments that compare the
+//    performance of Twig XSKETCHes against Structural XSKETCHes [11] on
+//    workloads of single XPath expressions. Our results have shown that
+//    Twig XSKETCHes compute low-error estimates of path selectivities,
+//    but, as expected, Structural XSKETCHes enable more accurate
+//    approximations since they target specifically the problem of
+//    selectivity estimation for single paths."
+//
+// A Structural XSKETCH is the stability-refinement-only variant: its whole
+// budget goes into b-/f-stabilize splits (no edge histograms beyond the
+// initial ones), which is exactly what single-path estimation needs. We
+// reproduce the comparison by building (a) a Twig XSKETCH with all
+// refinement kinds and (b) a structural-only build, and evaluating both on
+// a workload of single XPath expressions (chains with existential
+// branches, one binding root — no multi-output twigs).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace xsketch;
+  const size_t budget = bench::BenchBudgetBytes();
+  std::printf("Single-path check (Twig vs Structural XSKETCH), budget "
+              "%.0fKB\n",
+              budget / 1024.0);
+  std::printf("%-8s %16s %16s\n", "dataset", "twig-xsketch",
+              "structural-only");
+
+  bench::DataSet sets[] = {bench::MakeXMark(), bench::MakeImdb()};
+  for (auto& ds : sets) {
+    // Single-path workload: force pure chains by keeping the node budget
+    // minimal and growth existential.
+    query::WorkloadOptions wopts;
+    wopts.seed = 303;
+    wopts.num_queries = bench::BenchQueries() / 2;
+    wopts.min_nodes = 2;
+    wopts.max_nodes = 5;
+    wopts.existential_prob = 1.0;  // all branches are predicates
+    query::Workload w = query::GeneratePositiveWorkload(ds.doc, wopts);
+
+    core::BuildOptions twig_opts;
+    twig_opts.seed = 99;
+    twig_opts.budget_bytes = budget;
+
+    core::BuildOptions structural_opts = twig_opts;
+    structural_opts.enable_edge_expand = false;
+    structural_opts.enable_edge_refine = false;
+    structural_opts.enable_value_refine = false;
+    // Structural XSKETCHes score against the same kind of workload they
+    // serve: single-path expressions.
+    structural_opts.sample_existential_prob = 1.0;
+
+    core::TwigXSketch twig = core::XBuild(ds.doc, twig_opts).Build();
+    core::TwigXSketch structural =
+        core::XBuild(ds.doc, structural_opts).Build();
+
+    std::printf("%-8s %15.1f%% %15.1f%%\n", ds.name.c_str(),
+                core::XBuild::WorkloadError(twig, w) * 100.0,
+                core::XBuild::WorkloadError(structural, w) * 100.0);
+  }
+  std::printf("\npaper: both low-error; the structural variant is expected "
+              "to be at least as accurate on pure paths.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 1: data set characteristics — element count, text size (MB), and
+// the size of the coarsest XSKETCH synopsis (KB).
+//
+// Paper values: XMark 103,136 el / 5.40 MB / 12.20 KB;
+//               IMDB 102,755 el / 2.90 MB /  8.10 KB;
+//               SProt 69,599 el / 4.50 MB /  9.70 KB.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "xml/writer.h"
+
+int main() {
+  using namespace xsketch;
+  std::printf("Table 1: Data Sets (scale=%.2f)\n", bench::BenchScale());
+  std::printf("%-8s %14s %14s %22s\n", "dataset", "elements", "text(MB)",
+              "coarsest synopsis(KB)");
+  struct Paper {
+    const char* name;
+    int elements;
+    double mb;
+    double kb;
+  } paper[] = {
+      {"XMark", 103136, 5.40, 12.20},
+      {"IMDB", 102755, 2.90, 8.10},
+      {"SProt", 69599, 4.50, 9.70},
+  };
+
+  bench::DataSet sets[] = {bench::MakeXMark(), bench::MakeImdb(),
+                           bench::MakeSwissProt()};
+  for (int i = 0; i < 3; ++i) {
+    const bench::DataSet& ds = sets[i];
+    const double mb =
+        static_cast<double>(xml::SerializedSize(ds.doc)) / (1024.0 * 1024.0);
+    core::TwigXSketch coarse = core::TwigXSketch::Coarsest(ds.doc);
+    std::printf("%-8s %14zu %14.2f %22.2f\n", ds.name.c_str(), ds.doc.size(),
+                mb, coarse.SizeBytes() / 1024.0);
+    std::printf("%-8s %14d %14.2f %22.2f   (paper)\n", "", paper[i].elements,
+                paper[i].mb, paper[i].kb);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's introductory scenario: a movie catalog where the twig
+//
+//   for t0 in //movie[type=X], t1 in t0/actor, t2 in t0/producer
+//
+// has a selectivity that depends strongly on X ("Action" movies pair many
+// actors with many producers; documentaries almost none). The example
+// builds synopses of increasing size on the IMDB-like data set and shows
+// how estimates for per-genre twigs converge to the truth as the synopsis
+// captures the type <-> cast-size correlation.
+
+#include <cstdio>
+#include <string>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "data/imdb.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+
+int main() {
+  using namespace xsketch;
+  xml::Document doc = data::GenerateImdb({.seed = 7, .scale = 0.2});
+  std::printf("IMDB-like catalog: %zu elements\n", doc.size());
+
+  query::ExactEvaluator evaluator(doc);
+  const int genres[] = {0, 2, 9};  // blockbuster, drama, documentary
+  const char* genre_names[] = {"action", "drama", "documentary"};
+
+  core::TwigXSketch coarse = core::TwigXSketch::Coarsest(doc);
+
+  // Genre IS a value: capturing the type <-> cast-size correlation needs
+  // the joint value+count histograms of §3.2 (the paper's stated
+  // extension). Apply the targeted refinements by hand: cover the movie's
+  // actor/producer fanouts jointly, then correlate the type value with
+  // them via value-expand.
+  core::CoarsestOptions copts;
+  copts.initial_buckets = 64;
+  copts.initial_value_buckets = 32;
+  core::TwigXSketch joint = core::TwigXSketch::Coarsest(doc, copts);
+  {
+    const core::Synopsis& syn = joint.synopsis();
+    const core::SynNodeId movie = syn.NodesWithTag(doc.LookupTag("movie"))[0];
+    const core::SynNodeId actor = syn.NodesWithTag(doc.LookupTag("actor"))[0];
+    const core::SynNodeId producer =
+        syn.NodesWithTag(doc.LookupTag("producer"))[0];
+    const core::SynNodeId type = syn.NodesWithTag(doc.LookupTag("type"))[0];
+    joint.ExpandScope(movie, core::CountRef{true, movie, actor});
+    joint.ExpandScope(movie, core::CountRef{true, movie, producer});
+    joint.ExpandValueScope(type, core::CountRef{false, movie, actor});
+    joint.ExpandValueScope(type, core::CountRef{false, movie, producer});
+  }
+
+  std::printf("coarsest synopsis: %.1f KB; with joint H^v(V,C): %.1f KB\n\n",
+              coarse.SizeBytes() / 1024.0, joint.SizeBytes() / 1024.0);
+  std::printf("%-13s %12s %14s %14s\n", "genre", "exact", "coarse est",
+              "joint-hist est");
+
+  core::Estimator est_coarse(coarse);
+  core::Estimator est_joint(joint);
+  for (int i = 0; i < 3; ++i) {
+    const std::string clause =
+        "for t0 in //movie[type=" + std::to_string(genres[i]) +
+        "], t1 in t0/actor, t2 in t0/producer";
+    auto twig = query::ParseForClause(clause, doc.tags());
+    if (!twig.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   twig.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-13s %12lu %14.1f %14.1f\n", genre_names[i],
+                static_cast<unsigned long>(
+                    evaluator.Selectivity(twig.value())),
+                est_coarse.Estimate(twig.value()),
+                est_joint.Estimate(twig.value()));
+  }
+
+  std::printf(
+      "\nValue independence prices every genre at the average cast size;\n"
+      "the joint value+count histogram recovers the per-genre regimes.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Inspect what XBUILD actually builds: dump the synopsis graph (nodes,
+// stabilities, histogram scopes) before and after refinement, showing
+// where the construction algorithm spends the space budget on the skewed
+// IMDB-like data.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/builder.h"
+#include "data/imdb.h"
+
+namespace {
+
+using namespace xsketch;
+
+void DumpSketch(const core::TwigXSketch& sketch, int top_n) {
+  const core::Synopsis& syn = sketch.synopsis();
+  const xml::Document& doc = sketch.doc();
+
+  // Rank nodes by the space their summaries occupy.
+  std::vector<std::pair<size_t, core::SynNodeId>> ranked;
+  for (core::SynNodeId n = 0; n < syn.node_count(); ++n) {
+    const core::NodeSummary& s = sketch.summary(n);
+    ranked.push_back(
+        {s.hist.SizeBytes() + s.values.SizeBytes() + 4 * s.scope.size(), n});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("  %zu synopsis nodes, %.1f KB total\n", syn.node_count(),
+              sketch.SizeBytes() / 1024.0);
+  std::printf("  %-14s %8s %6s %8s %8s %10s\n", "tag", "extent", "dims",
+              "buckets", "values", "bytes");
+  for (int i = 0; i < top_n && i < static_cast<int>(ranked.size()); ++i) {
+    const core::SynNodeId n = ranked[i].second;
+    const core::NodeSummary& s = sketch.summary(n);
+    std::printf("  %-14s %8lu %6zu %8d %8d %10zu\n",
+                doc.tags().Get(syn.node(n).tag).c_str(),
+                static_cast<unsigned long>(syn.node(n).count),
+                s.scope.size(), s.hist.bucket_count(),
+                s.values.bucket_count(), ranked[i].first);
+  }
+}
+
+}  // namespace
+
+int main() {
+  xml::Document doc = data::GenerateImdb({.seed = 7, .scale = 0.2});
+  std::printf("IMDB-like data: %zu elements\n\n", doc.size());
+
+  core::TwigXSketch coarse = core::TwigXSketch::Coarsest(doc);
+  std::printf("coarsest synopsis:\n");
+  DumpSketch(coarse, 8);
+
+  core::BuildOptions opts;
+  opts.budget_bytes = coarse.SizeBytes() + 20 * 1024;
+  int steps = 0;
+  core::TwigXSketch refined = core::XBuild(doc, opts).Build(
+      [&](const core::TwigXSketch&, size_t) { ++steps; });
+
+  std::printf("\nafter %d accepted refinements (budget %.0f KB):\n", steps,
+              opts.budget_bytes / 1024.0);
+  DumpSketch(refined, 12);
+
+  // Where did the partition split? Tags represented by several nodes.
+  const core::Synopsis& syn = refined.synopsis();
+  std::printf("\ntags split into multiple synopsis nodes:\n");
+  for (xml::TagId tag = 0; tag < doc.tag_count(); ++tag) {
+    const auto& nodes = syn.NodesWithTag(tag);
+    if (nodes.size() > 1) {
+      std::printf("  %-14s -> %zu nodes (extents:", doc.tags().Get(tag).c_str(),
+                  nodes.size());
+      for (core::SynNodeId n : nodes) {
+        std::printf(" %lu", static_cast<unsigned long>(syn.node(n).count));
+      }
+      std::printf(")\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// xsketch_cli — command-line front end for the library.
+//
+//   xsketch_cli build   <doc> <sketch-file> [budget-kb]   build + save
+//   xsketch_cli estimate <doc> <sketch-file> <query>...   load + estimate
+//   xsketch_cli exact    <doc> <query>...                 ground truth
+//   xsketch_cli stats    <doc>                            document summary
+//
+// <doc> is either a path to an XML file or one of the built-in data set
+// names xmark / imdb / sprot (optionally with a scale suffix, e.g.
+// "xmark:0.1"). Queries are XPath expressions or for-clauses (quoted).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "core/serialize.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xsketch;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xsketch_cli build <doc> <sketch-file> [budget-kb]\n"
+               "  xsketch_cli estimate <doc> <sketch-file> <query>...\n"
+               "  xsketch_cli exact <doc> <query>...\n"
+               "  xsketch_cli stats <doc>\n"
+               "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n");
+  return 2;
+}
+
+bool LoadDoc(const std::string& spec, xml::Document* doc) {
+  std::string name = spec;
+  double scale = 0.1;  // CLI default: keep built-ins snappy
+  if (size_t colon = spec.find(':'); colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    scale = std::atof(spec.c_str() + colon + 1);
+  }
+  if (name == "xmark") {
+    *doc = data::GenerateXMark({.seed = 42, .scale = scale});
+    return true;
+  }
+  if (name == "imdb") {
+    *doc = data::GenerateImdb({.seed = 7, .scale = scale});
+    return true;
+  }
+  if (name == "sprot") {
+    *doc = data::GenerateSwissProt({.seed = 11, .scale = scale});
+    return true;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", spec.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = xml::ParseDocument(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *doc = std::move(parsed).value();
+  return true;
+}
+
+util::Result<query::TwigQuery> ParseQuery(const std::string& text,
+                                          const xml::Document& doc) {
+  if (text.find(" in ") != std::string::npos) {
+    return query::ParseForClause(text, doc.tags());
+  }
+  return query::ParsePath(text, doc.tags());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+
+  xml::Document doc;
+  if (!LoadDoc(argv[2], &doc)) return 1;
+
+  if (cmd == "stats") {
+    xml::DocumentStats stats = xml::ComputeStats(doc);
+    std::printf("elements:      %zu\n", stats.element_count);
+    std::printf("values:        %zu\n", stats.value_count);
+    std::printf("distinct tags: %zu\n", stats.distinct_tags);
+    std::printf("max depth:     %u\n", stats.max_depth);
+    std::printf("avg fanout:    %.2f\n", stats.avg_fanout);
+    core::TwigXSketch coarse = core::TwigXSketch::Coarsest(doc);
+    std::printf("coarsest synopsis: %.1f KB\n",
+                coarse.SizeBytes() / 1024.0);
+    return 0;
+  }
+
+  if (cmd == "build") {
+    if (argc < 4) return Usage();
+    core::BuildOptions opts;
+    opts.budget_bytes =
+        argc > 4 ? static_cast<size_t>(std::atof(argv[4]) * 1024)
+                 : 50 * 1024;
+    core::TwigXSketch sketch = core::XBuild(doc, opts).Build();
+    util::Status st = core::SaveSketchToFile(sketch, argv[3]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("built %.1f KB synopsis (%zu nodes) -> %s\n",
+                sketch.SizeBytes() / 1024.0,
+                sketch.synopsis().node_count(), argv[3]);
+    return 0;
+  }
+
+  if (cmd == "estimate") {
+    if (argc < 5) return Usage();
+    auto sketch = core::LoadSketchFromFile(argv[3], doc);
+    if (!sketch.ok()) {
+      std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+      return 1;
+    }
+    core::Estimator est(sketch.value());
+    for (int i = 4; i < argc; ++i) {
+      auto twig = ParseQuery(argv[i], doc);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-50s %14.1f\n", argv[i], est.Estimate(twig.value()));
+    }
+    return 0;
+  }
+
+  if (cmd == "exact") {
+    query::ExactEvaluator eval(doc);
+    for (int i = 3; i < argc; ++i) {
+      auto twig = ParseQuery(argv[i], doc);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-50s %14lu\n", argv[i],
+                  static_cast<unsigned long>(
+                      eval.Selectivity(twig.value())));
+    }
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,280 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace xsketch::core {
+
+namespace {
+
+// Elements of v whose parent lies in u (b-stabilize split set).
+std::vector<xml::NodeId> ElementsWithParentIn(const Synopsis& syn,
+                                              SynNodeId v, SynNodeId u) {
+  std::vector<xml::NodeId> subset;
+  const xml::Document& doc = syn.doc();
+  for (xml::NodeId e : syn.Extent(v)) {
+    const xml::NodeId p = doc.parent(e);
+    if (p != xml::kInvalidNode && syn.NodeOf(p) == u) subset.push_back(e);
+  }
+  return subset;
+}
+
+// Elements of u with at least one child in v (f-stabilize split set).
+std::vector<xml::NodeId> ElementsWithChildIn(const Synopsis& syn,
+                                             SynNodeId u, SynNodeId v) {
+  std::vector<xml::NodeId> subset;
+  const xml::Document& doc = syn.doc();
+  for (xml::NodeId e : syn.Extent(u)) {
+    bool has = false;
+    doc.ForEachChild(e, [&](xml::NodeId c) {
+      if (!has && syn.NodeOf(c) == v) has = true;
+    });
+    if (has) subset.push_back(e);
+  }
+  return subset;
+}
+
+bool ProperSubset(size_t subset, size_t total) {
+  return subset > 0 && subset < total;
+}
+
+}  // namespace
+
+bool ApplyRefinement(TwigXSketch* sketch, const Refinement& r) {
+  const Synopsis& syn = sketch->synopsis();
+  switch (r.kind) {
+    case Refinement::Kind::kBStabilize: {
+      // Split r.node so that the edge (r.other -> subset) becomes B-stable.
+      const SynEdge* edge = syn.FindEdge(r.other, r.node);
+      if (edge == nullptr || edge->backward_stable) return false;
+      std::vector<xml::NodeId> subset =
+          ElementsWithParentIn(syn, r.node, r.other);
+      if (!ProperSubset(subset.size(), syn.Extent(r.node).size())) {
+        return false;
+      }
+      sketch->SplitNode(r.node, subset);
+      return true;
+    }
+    case Refinement::Kind::kFStabilize: {
+      const SynEdge* edge = syn.FindEdge(r.node, r.other);
+      if (edge == nullptr || edge->forward_stable) return false;
+      std::vector<xml::NodeId> subset =
+          ElementsWithChildIn(syn, r.node, r.other);
+      if (!ProperSubset(subset.size(), syn.Extent(r.node).size())) {
+        return false;
+      }
+      sketch->SplitNode(r.node, subset);
+      return true;
+    }
+    case Refinement::Kind::kEdgeRefine: {
+      const NodeSummary& s = sketch->summary(r.node);
+      if (s.scope.empty()) return false;
+      // Pointless once the histogram is exact (buckets < budget).
+      if (s.hist.bucket_count() < s.bucket_budget) return false;
+      sketch->RefineEdgeHistogram(r.node);
+      return true;
+    }
+    case Refinement::Kind::kEdgeExpand:
+      return sketch->ExpandScope(r.node, r.ref);
+    case Refinement::Kind::kValueRefine: {
+      const NodeSummary& s = sketch->summary(r.node);
+      if (s.values.empty()) return false;
+      if (s.values.bucket_count() < s.value_bucket_budget) return false;
+      sketch->RefineValueHistogram(r.node);
+      return true;
+    }
+    case Refinement::Kind::kValueExpand:
+      return sketch->ExpandValueScope(r.node, r.ref);
+  }
+  return false;
+}
+
+XBuild::XBuild(const xml::Document& doc, const BuildOptions& options)
+    : doc_(doc), options_(options) {}
+
+double XBuild::WorkloadError(const TwigXSketch& sketch,
+                             const query::Workload& workload,
+                             const EstimatorOptions& options) {
+  Estimator estimator(sketch, options);
+  std::vector<double> estimates;
+  estimates.reserve(workload.queries.size());
+  for (const auto& q : workload.queries) {
+    estimates.push_back(estimator.Estimate(q.twig));
+  }
+  return query::AvgRelativeError(workload, estimates,
+                                 workload.SanityBound());
+}
+
+std::vector<Refinement> XBuild::GenerateCandidates(const TwigXSketch& sketch,
+                                                   util::Rng& rng) const {
+  const Synopsis& syn = sketch.synopsis();
+
+  // Node sampling weights: extent size * (1 + unstable incident edges).
+  std::vector<double> cumulative(syn.node_count());
+  double acc = 0.0;
+  for (SynNodeId n = 0; n < syn.node_count(); ++n) {
+    const double w =
+        static_cast<double>(syn.node(n).count) *
+        (1.0 + static_cast<double>(syn.UnstableDegree(n)));
+    acc += w;
+    cumulative[n] = acc;
+  }
+  if (acc <= 0.0) return {};
+
+  auto sample_node = [&]() -> SynNodeId {
+    const double u = rng.NextDouble() * acc;
+    return static_cast<SynNodeId>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+  };
+
+  std::vector<Refinement> out;
+  int guard = 0;
+  while (static_cast<int>(out.size()) < options_.candidates_per_iteration &&
+         ++guard < options_.candidates_per_iteration * 8) {
+    const SynNodeId n = sample_node();
+    const SynNode& node = syn.node(n);
+    const NodeSummary& summary = sketch.summary(n);
+
+    // Collect applicable refinements at n, then pick one at random.
+    std::vector<Refinement> local;
+    if (options_.enable_structural) {
+      for (SynNodeId p : node.parents) {
+        const SynEdge* e = syn.FindEdge(p, n);
+        if (e != nullptr && !e->backward_stable) {
+          local.push_back({Refinement::Kind::kBStabilize, n, p, {}});
+        }
+      }
+      for (const SynEdge& e : node.children) {
+        if (!e.forward_stable) {
+          local.push_back({Refinement::Kind::kFStabilize, n, e.child, {}});
+        }
+      }
+    }
+    if (options_.enable_edge_refine && !summary.scope.empty() &&
+        summary.hist.bucket_count() >= summary.bucket_budget) {
+      local.push_back({Refinement::Kind::kEdgeRefine, n, kInvalidSynNode, {}});
+    }
+    if (options_.enable_edge_expand &&
+        static_cast<int>(summary.scope.size()) < options_.max_hist_dims) {
+      for (const SynEdge& e : node.children) {
+        if (summary.FindForwardDim(n, e.child) < 0) {
+          local.push_back({Refinement::Kind::kEdgeExpand, n, kInvalidSynNode,
+                           CountRef{true, n, e.child}});
+        }
+      }
+      if (options_.allow_backward_counts) {
+        // Backward candidates vastly outnumber forward ones (every edge of
+        // every TSN ancestor); sample a bounded handful so they do not
+        // drown out the other refinement kinds.
+        std::vector<CountRef> backward;
+        for (SynNodeId a : syn.TwigStableNeighborhood(n)) {
+          if (a == n) continue;
+          for (const SynEdge& e : syn.node(a).children) {
+            if (summary.FindBackwardDim(a, e.child) < 0) {
+              backward.push_back(CountRef{false, a, e.child});
+            }
+          }
+        }
+        for (int pick = 0; pick < 2 && !backward.empty(); ++pick) {
+          const size_t i = rng.Uniform(backward.size());
+          local.push_back({Refinement::Kind::kEdgeExpand, n,
+                           kInvalidSynNode, backward[i]});
+          backward.erase(backward.begin() + static_cast<long>(i));
+        }
+      }
+    }
+    if (options_.enable_value_refine && !summary.values.empty() &&
+        summary.values.bucket_count() >= summary.value_bucket_budget) {
+      local.push_back(
+          {Refinement::Kind::kValueRefine, n, kInvalidSynNode, {}});
+    }
+    if (options_.allow_value_correlation && !summary.values.empty()) {
+      // Correlate the node's value with counts at its (B-stable-reachable)
+      // ancestors — e.g. a movie type with the movie's actor count.
+      std::vector<CountRef> vrefs;
+      for (SynNodeId a : syn.TwigStableNeighborhood(n)) {
+        for (const SynEdge& e : syn.node(a).children) {
+          bool present = false;
+          for (const CountRef& r : summary.value_scope) {
+            if (r.from == a && r.to == e.child) present = true;
+          }
+          if (!present) vrefs.push_back(CountRef{a == n, a, e.child});
+        }
+      }
+      for (int pick = 0; pick < 2 && !vrefs.empty(); ++pick) {
+        const size_t i = rng.Uniform(vrefs.size());
+        local.push_back(
+            {Refinement::Kind::kValueExpand, n, kInvalidSynNode, vrefs[i]});
+        vrefs.erase(vrefs.begin() + static_cast<long>(i));
+      }
+    }
+    if (local.empty()) continue;
+    out.push_back(local[rng.Uniform(local.size())]);
+  }
+  return out;
+}
+
+TwigXSketch XBuild::Build(const StepCallback& on_step) {
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc_, options_.coarsest);
+  util::Rng rng(options_.seed);
+
+  // Sample workload for marginal-gain scoring; true counts are exact.
+  query::WorkloadOptions wopts;
+  wopts.seed = options_.seed ^ 0x5eedf00dULL;
+  wopts.num_queries = options_.sample_queries;
+  wopts.min_nodes = 3;
+  wopts.max_nodes = 6;
+  wopts.existential_prob = options_.sample_existential_prob;
+  wopts.value_pred_fraction = options_.sample_value_pred_fraction;
+  const query::Workload pool = query::GeneratePositiveWorkload(doc_, wopts);
+
+  int stall = 0;
+  while (sketch.SizeBytes() < options_.budget_bytes && stall < 15) {
+    const std::vector<Refinement> candidates =
+        GenerateCandidates(sketch, rng);
+    if (candidates.empty()) break;
+
+    const size_t size_before = sketch.SizeBytes();
+    const double error_before =
+        options_.score_candidates
+            ? WorkloadError(sketch, pool, options_.estimator)
+            : 0.0;
+
+    double best_gain = -std::numeric_limits<double>::infinity();
+    bool have_best = false;
+    TwigXSketch best = sketch;
+    for (const Refinement& r : candidates) {
+      TwigXSketch trial = sketch;
+      if (!ApplyRefinement(&trial, r)) continue;
+      const size_t size_after = trial.SizeBytes();
+      if (size_after <= size_before) continue;
+      if (!options_.score_candidates) {
+        best = std::move(trial);
+        have_best = true;
+        break;  // workload-oblivious: take the first applicable candidate
+      }
+      const double error_after =
+          WorkloadError(trial, pool, options_.estimator);
+      const double gain = (error_before - error_after) /
+                          static_cast<double>(size_after - size_before);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = std::move(trial);
+        have_best = true;
+      }
+    }
+    if (!have_best) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+    sketch = std::move(best);
+    if (on_step) on_step(sketch, sketch.SizeBytes());
+  }
+  return sketch;
+}
+
+}  // namespace xsketch::core

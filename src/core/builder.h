@@ -1,0 +1,118 @@
+// XBUILD: greedy marginal-gains construction of a Twig XSKETCH (paper §5).
+//
+// Starting from the coarsest (label-split) synopsis, XBUILD repeatedly
+// generates candidate refinement operations on a sample of synopsis nodes
+// (sampling probability proportional to extent size and unstable degree),
+// scores each candidate by the relative-error reduction per byte on a
+// sample twig workload, and applies the best one, until the space budget
+// is exhausted.
+//
+// Refinement operations:
+//   b-stabilize(u→v): split v by "has parent in u"  → new B-stable edge
+//   f-stabilize(u→v): split u by "has child in v"   → new F-stable edge
+//   edge-refine(n):   double the bucket budget of H_n
+//   edge-expand(n,e): add a count dimension to H_n (lifting an
+//                     independence assumption across edge e)
+//   value-refine(n):  double the bucket budget of the value histogram
+//
+// The paper's prototype (§6.1) restricts edge-expand to forward counts;
+// `allow_backward_counts` enables the paper's stated extension.
+// True workload selectivities come from exact evaluation on the document
+// (DESIGN.md §3 substitution for the "large reference summary").
+
+#ifndef XSKETCH_CORE_BUILDER_H_
+#define XSKETCH_CORE_BUILDER_H_
+
+#include <functional>
+
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "query/workload.h"
+
+namespace xsketch::core {
+
+struct BuildOptions {
+  size_t budget_bytes = 50 * 1024;
+  uint64_t seed = 99;
+
+  // Candidate refinements evaluated per iteration.
+  int candidates_per_iteration = 10;
+  // Sample workload used for marginal-gain scoring.
+  int sample_queries = 28;
+  // Shape of the sample workload (value_pred_fraction should mirror the
+  // target workload: P vs P+V).
+  double sample_value_pred_fraction = 0.0;
+  double sample_existential_prob = 0.4;
+
+  // Ablation switch: when false, XBUILD applies the first applicable
+  // sampled candidate instead of scoring candidates against the sample
+  // workload — i.e. frequency-proportional but workload-oblivious
+  // allocation, the strategy the paper criticizes in CST/StatiX.
+  bool score_candidates = true;
+
+  bool enable_structural = true;
+  bool enable_edge_refine = true;
+  bool enable_edge_expand = true;
+  bool enable_value_refine = true;
+  // Paper prototype restriction: forward counts only. Enabling this allows
+  // edge-expand to add backward (ancestor) count dimensions.
+  bool allow_backward_counts = false;
+  // Paper prototype restriction: single-dimensional value histograms.
+  // Enabling this allows value-expand to build joint H^v(V, C...)
+  // histograms correlating values with edge counts (paper §3.2).
+  bool allow_value_correlation = false;
+  int max_hist_dims = 4;
+
+  CoarsestOptions coarsest;
+  EstimatorOptions estimator;
+};
+
+// One refinement operation (see file comment).
+struct Refinement {
+  enum class Kind {
+    kBStabilize,
+    kFStabilize,
+    kEdgeRefine,
+    kEdgeExpand,
+    kValueRefine,
+    kValueExpand,
+  };
+  Kind kind = Kind::kEdgeRefine;
+  SynNodeId node = kInvalidSynNode;   // refined node (v / u / n)
+  SynNodeId other = kInvalidSynNode;  // stabilize: other endpoint
+  CountRef ref;                       // edge-expand: the new dimension
+};
+
+// Applies `r` to `sketch`; returns false when inapplicable (e.g. the edge
+// became stable already, the subset is degenerate, or the scope already
+// contains the dimension).
+bool ApplyRefinement(TwigXSketch* sketch, const Refinement& r);
+
+class XBuild {
+ public:
+  XBuild(const xml::Document& doc, const BuildOptions& options);
+
+  // Invoked after every accepted refinement (budget sweeps hook this to
+  // snapshot intermediate synopses).
+  using StepCallback =
+      std::function<void(const TwigXSketch& sketch, size_t size_bytes)>;
+
+  TwigXSketch Build(const StepCallback& on_step = StepCallback());
+
+  // Average relative error of `sketch` on `workload` (exposed for benches
+  // and tests; uses the paper's sanity-bounded metric).
+  static double WorkloadError(const TwigXSketch& sketch,
+                              const query::Workload& workload,
+                              const EstimatorOptions& options = {});
+
+ private:
+  std::vector<Refinement> GenerateCandidates(const TwigXSketch& sketch,
+                                             util::Rng& rng) const;
+
+  const xml::Document& doc_;
+  BuildOptions options_;
+};
+
+}  // namespace xsketch::core
+
+#endif  // XSKETCH_CORE_BUILDER_H_

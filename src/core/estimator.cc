@@ -1,0 +1,360 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "query/xpath_parser.h"
+#include "util/check.h"
+
+namespace xsketch::core {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+uint64_t MemoKey(int t, SynNodeId n) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 32) | n;
+}
+
+}  // namespace
+
+Estimator::Estimator(const TwigXSketch& sketch,
+                     const EstimatorOptions& options)
+    : sketch_(sketch), options_(options) {
+  path_length_cap_ =
+      options_.max_path_length > 0
+          ? options_.max_path_length
+          : static_cast<int>(sketch_.doc().max_depth()) + 1;
+}
+
+double Estimator::Estimate(const query::TwigQuery& twig) const {
+  return EstimateImpl(twig, nullptr);
+}
+
+EstimateStats Estimator::EstimateWithStats(
+    const query::TwigQuery& twig) const {
+  EstimateStats stats;
+  stats.estimate = EstimateImpl(twig, &stats);
+  return stats;
+}
+
+double Estimator::EstimateImpl(const query::TwigQuery& twig,
+                               EstimateStats* stats) const {
+  if (twig.empty()) return 0.0;
+  const auto& root = twig.node(twig.root());
+  if (root.tag == query::kUnknownTag) return 0.0;
+
+  EvalState state;
+  state.twig = &twig;
+  state.stats = stats;
+  state.memo_enabled = !sketch_.HasBackwardDims() && stats == nullptr;
+
+  const Synopsis& syn = sketch_.synopsis();
+  double total = 0.0;
+  if (root.axis == query::Axis::kChild) {
+    // Absolute '/tag': only the document root element can match.
+    const SynNodeId n0 = syn.RootNode();
+    if (syn.node(n0).tag != root.tag) return 0.0;
+    total = ValueFraction(n0, twig.root(), state) *
+            EvalSubtree(n0, twig.root(), state);
+  } else {
+    for (SynNodeId n : syn.NodesWithTag(root.tag)) {
+      total += static_cast<double>(syn.node(n).count) *
+               ValueFraction(n, twig.root(), state) *
+               EvalSubtree(n, twig.root(), state);
+    }
+  }
+  return std::max(0.0, total);
+}
+
+double Estimator::ValueFraction(SynNodeId n, int t, EvalState& state) const {
+  const auto& pred = state.twig->node(t).pred;
+  if (!pred.has_value()) return 1.0;
+  if (state.stats != nullptr) ++state.stats->value_fractions;
+  const NodeSummary& s = sketch_.summary(n);
+  if (s.values.empty()) return 0.0;  // no element of n carries a value
+
+  // Extended H^v(V, C...) (paper §3.2): when the joint value histogram
+  // covers a count the current context has assigned, condition the value
+  // fraction on it instead of assuming value/structure independence.
+  if (!s.value_scope.empty() && !s.joint_values.empty()) {
+    std::vector<std::pair<int, double>> given;
+    for (size_t d = 0; d < s.value_scope.size(); ++d) {
+      const CountRef& ref = s.value_scope[d];
+      for (auto it = state.ctx.rbegin(); it != state.ctx.rend(); ++it) {
+        if (it->from == ref.from && it->to == ref.to) {
+          given.emplace_back(static_cast<int>(d) + 1, it->value);
+          break;
+        }
+      }
+    }
+    if (!given.empty()) {
+      const double lo =
+          static_cast<double>(pred->lo == INT64_MIN
+                                  ? 0
+                                  : pred->lo - s.value_offset);
+      const double hi = static_cast<double>(
+          pred->hi == INT64_MAX ? std::numeric_limits<uint32_t>::max()
+                                : pred->hi - s.value_offset);
+      return s.joint_values.ConditionalRangeFraction(0, lo, hi, given);
+    }
+  }
+  return s.values.EstimateFraction(pred->lo, pred->hi);
+}
+
+std::vector<hist::WeightedPoint> Estimator::ConditionedPoints(
+    SynNodeId n, EvalState& state) const {
+  const NodeSummary& s = sketch_.summary(n);
+  if (s.hist.empty()) {
+    return {hist::WeightedPoint{{}, 1.0}};
+  }
+  // Collect conditioning pairs: backward dimensions whose edge has an
+  // assignment on the context stack (nearest assignment wins).
+  std::vector<std::pair<int, double>> given;
+  for (size_t d = 0; d < s.scope.size(); ++d) {
+    const CountRef& ref = s.scope[d];
+    if (ref.forward) continue;
+    for (auto it = state.ctx.rbegin(); it != state.ctx.rend(); ++it) {
+      if (it->from == ref.from && it->to == ref.to) {
+        given.emplace_back(static_cast<int>(d), it->value);
+        break;
+      }
+    }
+  }
+  if (state.stats != nullptr && !given.empty()) {
+    ++state.stats->conditioned_nodes;
+  }
+  return s.hist.Condition(given);
+}
+
+double Estimator::EvalSubtree(SynNodeId n, int t, EvalState& state) const {
+  const auto& tnode = state.twig->node(t);
+  if (tnode.children.empty()) return 1.0;
+
+  const uint64_t key = MemoKey(t, n);
+  if (state.memo_enabled) {
+    auto it = state.memo.find(key);
+    if (it != state.memo.end()) return it->second;
+  }
+
+  const NodeSummary& s = sketch_.summary(n);
+
+  // Fast path: when no context can flow (no backward dims anywhere) and no
+  // child's first step is covered by H(n), the point loop is a no-op.
+  bool any_covered = false;
+  if (!s.hist.empty()) {
+    for (int c : tnode.children) {
+      const auto& cnode = state.twig->node(c);
+      if (cnode.axis == query::Axis::kChild) {
+        for (const SynEdge& e : sketch_.synopsis().node(n).children) {
+          if (sketch_.synopsis().node(e.child).tag == cnode.tag &&
+              s.FindForwardDim(n, e.child) >= 0) {
+            any_covered = true;
+          }
+        }
+      } else {
+        // Descendant steps may start on a covered edge.
+        any_covered = true;
+      }
+      if (any_covered) break;
+    }
+  }
+
+  std::vector<hist::WeightedPoint> points;
+  if (any_covered || (!s.hist.empty() && !state.memo_enabled)) {
+    points = ConditionedPoints(n, state);
+  } else {
+    points = {hist::WeightedPoint{{}, 1.0}};
+  }
+
+  double result = 0.0;
+  for (size_t pi = 0; pi < points.size(); ++pi) {
+    const size_t ctx_mark = state.ctx.size();
+    if (!points[pi].values.empty()) {
+      for (size_t d = 0; d < s.scope.size(); ++d) {
+        if (s.scope[d].forward) {
+          state.ctx.push_back(
+              CtxEntry{n, s.scope[d].to, points[pi].values[d]});
+        }
+      }
+    }
+    double term = points[pi].prob;
+    for (int c : tnode.children) {
+      if (term == 0.0) break;
+      term *= ChildTerm(n, c, points, pi, state);
+    }
+    result += term;
+    state.ctx.resize(ctx_mark);
+  }
+
+  if (state.memo_enabled) state.memo.emplace(key, result);
+  return result;
+}
+
+double Estimator::ChildTerm(SynNodeId n, int child,
+                            const std::vector<hist::WeightedPoint>& points,
+                            size_t point_index, EvalState& state) const {
+  const auto& cnode = state.twig->node(child);
+  if (cnode.tag == query::kUnknownTag) return 0.0;
+  const Synopsis& syn = sketch_.synopsis();
+  const NodeSummary& s = sketch_.summary(n);
+
+  // Alternatives: chains of synopsis nodes from n to a node tagged
+  // cnode.tag. Child axis gives length-1 chains; '//' gives label paths.
+  std::vector<std::vector<SynNodeId>> local_chains;
+  const std::vector<std::vector<SynNodeId>>* chains = nullptr;
+  if (cnode.axis == query::Axis::kChild) {
+    for (const SynEdge& e : syn.node(n).children) {
+      if (syn.node(e.child).tag == cnode.tag) {
+        local_chains.push_back({e.child});
+      }
+    }
+    chains = &local_chains;
+  } else {
+    chains = &DescendantPaths(n, cnode.tag);
+  }
+  if (chains->empty()) return 0.0;
+
+  if (state.stats != nullptr) {
+    if (cnode.existential) ++state.stats->existential_terms;
+    if (cnode.axis == query::Axis::kDescendant) {
+      state.stats->descendant_chains += static_cast<int>(chains->size());
+    }
+  }
+  double sum = 0.0;        // output semantics
+  double prob_none = 1.0;  // existential semantics
+  for (const std::vector<SynNodeId>& chain : *chains) {
+    const SynNodeId x1 = chain[0];
+    const int d = s.FindForwardDim(n, x1);
+    double factor;
+    if (d >= 0 && !points[point_index].values.empty()) {
+      if (state.stats != nullptr) ++state.stats->covered_terms;
+      factor = StepFactor(n, x1, points[point_index].values[d],
+                          /*covered=*/true, chain, 0, child,
+                          cnode.existential, state);
+    } else {
+      if (state.stats != nullptr) ++state.stats->uniformity_terms;
+      const SynEdge* edge = syn.FindEdge(n, x1);
+      XS_CHECK(edge != nullptr);
+      const double avg = static_cast<double>(edge->child_count) /
+                         static_cast<double>(syn.node(n).count);
+      factor = StepFactor(n, x1, avg, /*covered=*/false, chain, 0, child,
+                          cnode.existential, state);
+    }
+    if (cnode.existential) {
+      prob_none *= 1.0 - Clamp01(factor);
+    } else {
+      sum += factor;
+    }
+  }
+  return cnode.existential ? 1.0 - prob_none : sum;
+}
+
+double Estimator::StepFactor(SynNodeId cur, SynNodeId next, double count,
+                             bool covered,
+                             const std::vector<SynNodeId>& chain,
+                             size_t index, int t, bool existential,
+                             EvalState& state) const {
+  const bool last = (index + 1 == chain.size());
+  double inner;
+  if (last) {
+    const double vf = ValueFraction(next, t, state);
+    inner = (vf == 0.0) ? 0.0 : vf * EvalSubtree(next, t, state);
+  } else {
+    inner = ChainTerm(next, chain, index + 1, t, existential, state);
+  }
+
+  if (!existential) {
+    return count * inner;
+  }
+  const double q = Clamp01(inner);
+  if (covered) {
+    // Exact count (a bucket representative): P[>=1 of `count` children
+    // satisfies] under per-child independence.
+    return count <= 0.0 ? 0.0 : 1.0 - std::pow(1.0 - q, count);
+  }
+  // Uncovered: split existence (parent fraction) from fanout-given-
+  // existence (child_count / parent_count >= 1).
+  const SynEdge* edge = sketch_.synopsis().FindEdge(cur, next);
+  XS_CHECK(edge != nullptr);
+  if (edge->parent_count == 0) return 0.0;
+  const double exist_frac =
+      static_cast<double>(edge->parent_count) /
+      static_cast<double>(sketch_.synopsis().node(cur).count);
+  const double avg_given_exist = static_cast<double>(edge->child_count) /
+                                 static_cast<double>(edge->parent_count);
+  return exist_frac * (1.0 - std::pow(1.0 - q, avg_given_exist));
+}
+
+double Estimator::ChainTerm(SynNodeId cur,
+                            const std::vector<SynNodeId>& chain,
+                            size_t index, int t, bool existential,
+                            EvalState& state) const {
+  const SynNodeId next = chain[index];
+  const NodeSummary& s = sketch_.summary(cur);
+  const int d = s.FindForwardDim(cur, next);
+  if (d < 0) {
+    if (state.stats != nullptr) ++state.stats->uniformity_terms;
+    const SynEdge* edge = sketch_.synopsis().FindEdge(cur, next);
+    XS_CHECK(edge != nullptr);
+    const double avg =
+        static_cast<double>(edge->child_count) /
+        static_cast<double>(sketch_.synopsis().node(cur).count);
+    return StepFactor(cur, next, avg, /*covered=*/false, chain, index, t,
+                      existential, state);
+  }
+  std::vector<hist::WeightedPoint> points = ConditionedPoints(cur, state);
+  double result = 0.0;
+  for (const hist::WeightedPoint& wp : points) {
+    const size_t ctx_mark = state.ctx.size();
+    if (!wp.values.empty()) {
+      for (size_t dd = 0; dd < s.scope.size(); ++dd) {
+        if (s.scope[dd].forward) {
+          state.ctx.push_back(CtxEntry{cur, s.scope[dd].to, wp.values[dd]});
+        }
+      }
+    }
+    result += wp.prob * StepFactor(cur, next, wp.values[d],
+                                   /*covered=*/true, chain, index, t,
+                                   existential, state);
+    state.ctx.resize(ctx_mark);
+  }
+  return result;
+}
+
+const std::vector<std::vector<SynNodeId>>& Estimator::DescendantPaths(
+    SynNodeId n, xml::TagId tag) const {
+  const uint64_t key = (static_cast<uint64_t>(n) << 32) | tag;
+  auto it = path_cache_.find(key);
+  if (it != path_cache_.end()) return it->second;
+
+  std::vector<std::vector<SynNodeId>> paths;
+  std::vector<SynNodeId> current;
+  const Synopsis& syn = sketch_.synopsis();
+
+  // Depth-first enumeration of label paths, deterministic order, capped.
+  auto dfs = [&](auto&& self, SynNodeId cur) -> void {
+    if (static_cast<int>(paths.size()) >= options_.max_descendant_paths) {
+      return;
+    }
+    if (static_cast<int>(current.size()) >= path_length_cap_) return;
+    for (const SynEdge& e : syn.node(cur).children) {
+      current.push_back(e.child);
+      if (syn.node(e.child).tag == tag) paths.push_back(current);
+      self(self, e.child);
+      current.pop_back();
+      if (static_cast<int>(paths.size()) >= options_.max_descendant_paths) {
+        return;
+      }
+    }
+  };
+  if (tag != query::kUnknownTag) dfs(dfs, n);
+
+  auto [pos, inserted] = path_cache_.emplace(key, std::move(paths));
+  XS_CHECK(inserted);
+  return pos->second;
+}
+
+}  // namespace xsketch::core

@@ -1,0 +1,126 @@
+// Twig selectivity estimation over a Twig XSKETCH (paper §4).
+//
+// The estimator implements the TREEPARSE framework as a recursion over the
+// query tree folded with the synopsis graph:
+//
+//  * Maximal expansion: '//' steps are expanded into concrete synopsis
+//    label paths (depth-bounded — synopsis graphs of recursive schemas are
+//    cyclic); multi-step alternatives become chains of intermediate
+//    binding nodes. Alternative embeddings cover disjoint element sets on
+//    tree data, so their estimates add.
+//  * Covered counts (E_i): when the histogram at a node covers the edge a
+//    query child traverses, the child's fanout is enumerated from the
+//    histogram's (conditioned) buckets.
+//  * Correlation (D_i): backward dimensions are conditioned on count
+//    assignments made at ancestor steps (Correlation Scope Independence).
+//  * Uncovered counts (U_i): Forward Uniformity — the average fanout
+//    |n_i→n_j| / |n_i| from the synopsis edge counts.
+//  * Forward Independence: joint terms across dimensions not covered by
+//    one histogram factor into independent expectations.
+//
+// Branching (existential) predicates: for a child with fanout c and
+// per-element satisfaction probability q, P[at least one match] =
+// 1-(1-q)^c; on uncovered edges the stored parent fraction
+// parent_count/|n| bounds existence, with the fanout conditioned on
+// existence (child_count/parent_count). F-stable edges with q = 1 yield
+// probability 1, matching the single-path XSKETCH framework.
+//
+// Value predicates multiply in the predicated node's value-histogram
+// fraction (value independence, the paper's prototype configuration).
+
+#ifndef XSKETCH_CORE_ESTIMATOR_H_
+#define XSKETCH_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/twig_xsketch.h"
+#include "query/twig.h"
+
+namespace xsketch::core {
+
+struct EstimatorOptions {
+  // Bounds on '//' expansion over the synopsis graph.
+  int max_descendant_paths = 128;   // alternatives kept per '//' step
+  int max_path_length = 0;          // 0: use document max depth + 1
+};
+
+// Diagnostics: which estimation mechanisms a query exercised. Counts are
+// per-Estimate-call totals over every node/alternative visited.
+struct EstimateStats {
+  double estimate = 0.0;
+  int covered_terms = 0;       // fanouts read from histogram buckets (E_i)
+  int uniformity_terms = 0;    // Forward Uniformity fallbacks (U_i)
+  int conditioned_nodes = 0;   // Correlation Scope conditionings (D_i)
+  int value_fractions = 0;     // value-predicate fractions applied
+  int existential_terms = 0;   // branching-predicate factors
+  int descendant_chains = 0;   // '//' expansion alternatives evaluated
+};
+
+class Estimator {
+ public:
+  explicit Estimator(const TwigXSketch& sketch,
+                     const EstimatorOptions& options = {});
+
+  // Estimated number of binding tuples for `twig`. Deterministic; never
+  // negative. Queries over absent labels estimate 0.
+  double Estimate(const query::TwigQuery& twig) const;
+
+  // Same estimate plus diagnostics about the assumptions applied.
+  EstimateStats EstimateWithStats(const query::TwigQuery& twig) const;
+
+ private:
+  struct CtxEntry {
+    SynNodeId from;
+    SynNodeId to;
+    double value;
+  };
+  // Per-call evaluation state: the conditioning stack plus a memo for
+  // context-free subtrees.
+  struct EvalState {
+    const query::TwigQuery* twig = nullptr;
+    std::vector<CtxEntry> ctx;
+    std::unordered_map<uint64_t, double> memo;
+    bool memo_enabled = false;
+    EstimateStats* stats = nullptr;  // optional diagnostics sink
+  };
+
+  double EstimateImpl(const query::TwigQuery& twig,
+                      EstimateStats* stats) const;
+
+  double EvalSubtree(SynNodeId n, int t, EvalState& state) const;
+  double ChildTerm(SynNodeId n, int child,
+                   const std::vector<hist::WeightedPoint>& points,
+                   size_t point_index, EvalState& state) const;
+  double ChainTerm(SynNodeId cur, const std::vector<SynNodeId>& chain,
+                   size_t index, int t, bool existential,
+                   EvalState& state) const;
+  double StepFactor(SynNodeId cur, SynNodeId next, double count,
+                    bool covered, const std::vector<SynNodeId>& chain,
+                    size_t index, int t, bool existential,
+                    EvalState& state) const;
+
+  // Conditioned bucket view of n's histogram given the current context; a
+  // single unit point when the node has no histogram.
+  std::vector<hist::WeightedPoint> ConditionedPoints(SynNodeId n,
+                                                     EvalState& state) const;
+
+  // Value-predicate fraction for twig node t evaluated at synopsis node n.
+  double ValueFraction(SynNodeId n, int t, EvalState& state) const;
+
+  // All synopsis label paths n -> ... -> (tag) with length in
+  // [1, max_path_length], capped at max_descendant_paths. Cached.
+  const std::vector<std::vector<SynNodeId>>& DescendantPaths(
+      SynNodeId n, xml::TagId tag) const;
+
+  const TwigXSketch& sketch_;
+  EstimatorOptions options_;
+  int path_length_cap_;
+  mutable std::unordered_map<uint64_t, std::vector<std::vector<SynNodeId>>>
+      path_cache_;
+};
+
+}  // namespace xsketch::core
+
+#endif  // XSKETCH_CORE_ESTIMATOR_H_

@@ -1,0 +1,207 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+namespace xsketch::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'S', 'K', '1'};
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+void PutRef(std::string& out, const CountRef& ref) {
+  PutU32(out, ref.forward ? 1u : 0u);
+  PutU32(out, ref.from);
+  PutU32(out, ref.to);
+}
+
+// Bounds-checked reader over the serialized buffer.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    s->assign(bytes_, pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetRef(CountRef* ref) {
+    uint32_t forward = 0;
+    return GetU32(&forward) && GetU32(&ref->from) && GetU32(&ref->to) &&
+           ((ref->forward = (forward != 0)), true);
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SaveSketch(const TwigXSketch& sketch) {
+  const Synopsis& syn = sketch.synopsis();
+  const xml::Document& doc = sketch.doc();
+
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(out, static_cast<uint32_t>(doc.size()));
+
+  // Tag table (names, in id order) so a mismatched document fails loading.
+  PutU32(out, static_cast<uint32_t>(doc.tag_count()));
+  for (uint32_t t = 0; t < doc.tag_count(); ++t) {
+    PutString(out, doc.tags().Get(t));
+  }
+
+  // Partition.
+  PutU32(out, static_cast<uint32_t>(syn.node_count()));
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    PutU32(out, syn.NodeOf(e));
+  }
+
+  // Per-node configs.
+  for (const TwigXSketch::NodeConfig& cfg : sketch.ExportConfigs()) {
+    PutU32(out, static_cast<uint32_t>(cfg.bucket_budget));
+    PutU32(out, static_cast<uint32_t>(cfg.value_bucket_budget));
+    PutU32(out, static_cast<uint32_t>(cfg.scope.size()));
+    for (const CountRef& ref : cfg.scope) PutRef(out, ref);
+    PutU32(out, static_cast<uint32_t>(cfg.value_scope.size()));
+    for (const CountRef& ref : cfg.value_scope) PutRef(out, ref);
+  }
+  return out;
+}
+
+util::Result<TwigXSketch> LoadSketch(const std::string& bytes,
+                                     const xml::Document& doc) {
+  Reader reader(bytes);
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return util::Status::ParseError("not a Twig XSKETCH file");
+  }
+  {
+    // Consume the already-verified magic.
+    uint32_t m = 0;
+    if (!reader.GetU32(&m)) return util::Status::ParseError("truncated");
+  }
+
+  uint32_t doc_size = 0;
+  if (!reader.GetU32(&doc_size)) {
+    return util::Status::ParseError("truncated header");
+  }
+  if (doc_size != doc.size()) {
+    return util::Status::InvalidArgument(
+        "document element count does not match the saved sketch");
+  }
+
+  uint32_t tag_count = 0;
+  if (!reader.GetU32(&tag_count)) {
+    return util::Status::ParseError("truncated tag table");
+  }
+  if (tag_count != doc.tag_count()) {
+    return util::Status::InvalidArgument("tag table size mismatch");
+  }
+  for (uint32_t t = 0; t < tag_count; ++t) {
+    std::string name;
+    if (!reader.GetString(&name)) {
+      return util::Status::ParseError("truncated tag table");
+    }
+    if (name != doc.tags().Get(t)) {
+      return util::Status::InvalidArgument("tag table content mismatch");
+    }
+  }
+
+  uint32_t node_count = 0;
+  if (!reader.GetU32(&node_count)) {
+    return util::Status::ParseError("truncated partition");
+  }
+  std::vector<SynNodeId> partition(doc_size);
+  for (uint32_t e = 0; e < doc_size; ++e) {
+    if (!reader.GetU32(&partition[e])) {
+      return util::Status::ParseError("truncated partition");
+    }
+    if (partition[e] >= node_count) {
+      return util::Status::ParseError("partition id out of range");
+    }
+  }
+
+  std::vector<TwigXSketch::NodeConfig> configs(node_count);
+  for (uint32_t n = 0; n < node_count; ++n) {
+    TwigXSketch::NodeConfig& cfg = configs[n];
+    uint32_t budget = 0, vbudget = 0, dims = 0, vdims = 0;
+    if (!reader.GetU32(&budget) || !reader.GetU32(&vbudget) ||
+        !reader.GetU32(&dims)) {
+      return util::Status::ParseError("truncated node config");
+    }
+    cfg.bucket_budget = static_cast<int>(budget);
+    cfg.value_bucket_budget = static_cast<int>(vbudget);
+    if (dims > 64) return util::Status::ParseError("implausible scope size");
+    for (uint32_t d = 0; d < dims; ++d) {
+      CountRef ref;
+      if (!reader.GetRef(&ref)) {
+        return util::Status::ParseError("truncated scope");
+      }
+      cfg.scope.push_back(ref);
+    }
+    if (!reader.GetU32(&vdims)) {
+      return util::Status::ParseError("truncated node config");
+    }
+    if (vdims > 64) {
+      return util::Status::ParseError("implausible value scope size");
+    }
+    for (uint32_t d = 0; d < vdims; ++d) {
+      CountRef ref;
+      if (!reader.GetRef(&ref)) {
+        return util::Status::ParseError("truncated value scope");
+      }
+      cfg.value_scope.push_back(ref);
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::ParseError("trailing bytes after sketch");
+  }
+  return TwigXSketch::Restore(doc, std::move(partition), std::move(configs));
+}
+
+util::Status SaveSketchToFile(const TwigXSketch& sketch,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::NotFound("cannot open " + path);
+  const std::string bytes = SaveSketch(sketch);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return util::Status::Internal("short write to " + path);
+  return util::Status::OK();
+}
+
+util::Result<TwigXSketch> LoadSketchFromFile(const std::string& path,
+                                             const xml::Document& doc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return LoadSketch(bytes, doc);
+}
+
+}  // namespace xsketch::core

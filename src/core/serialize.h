@@ -1,0 +1,40 @@
+// Persistence for Twig XSKETCH synopses.
+//
+// XBUILD is the expensive step (minutes of marginal-gains search); the
+// information it discovers — the element partition and the per-node
+// summary configurations (scopes, bucket budgets) — is tiny. SaveSketch
+// writes exactly that state; LoadSketch re-derives extents, edges,
+// stabilities and histogram contents from the document, which is fast and
+// keeps the on-disk format independent of histogram internals.
+//
+// The format is versioned and self-describing enough to fail cleanly on
+// corrupt input or on a document that does not match the saved partition
+// (sizes and tag names are checked).
+
+#ifndef XSKETCH_CORE_SERIALIZE_H_
+#define XSKETCH_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/twig_xsketch.h"
+#include "util/status.h"
+
+namespace xsketch::core {
+
+// Serializes the sketch's build state into `out` (binary).
+std::string SaveSketch(const TwigXSketch& sketch);
+
+// Reconstructs a sketch over `doc`, which must be the same document the
+// sketch was built from (element count and tag table are verified).
+util::Result<TwigXSketch> LoadSketch(const std::string& bytes,
+                                     const xml::Document& doc);
+
+// Convenience file wrappers.
+util::Status SaveSketchToFile(const TwigXSketch& sketch,
+                              const std::string& path);
+util::Result<TwigXSketch> LoadSketchFromFile(const std::string& path,
+                                             const xml::Document& doc);
+
+}  // namespace xsketch::core
+
+#endif  // XSKETCH_CORE_SERIALIZE_H_

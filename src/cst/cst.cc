@@ -1,0 +1,184 @@
+#include "cst/cst.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "query/xpath_parser.h"
+#include "util/check.h"
+
+namespace xsketch::cst {
+
+CorrelatedSuffixTree CorrelatedSuffixTree::Build(const xml::Document& doc,
+                                                 const CstOptions& options) {
+  XS_CHECK(doc.sealed());
+  CorrelatedSuffixTree cst;
+  cst.max_suffix_length_ = options.max_suffix_length;
+  cst.nodes_.emplace_back();  // trie root: empty sequence
+  cst.nodes_[0].count = doc.size();
+
+  // Insert, for every element, its upward label path truncated to the
+  // Markov-order cap. Every trie prefix automatically aggregates the
+  // counts of all suffix lengths (a node at depth m counts elements whose
+  // upward path starts with that m-sequence).
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    int cur = 0;
+    xml::NodeId walk = e;
+    for (int depth = 0;
+         depth < options.max_suffix_length && walk != xml::kInvalidNode;
+         ++depth, walk = doc.parent(walk)) {
+      const xml::TagId label = doc.tag(walk);
+      auto it = cst.nodes_[cur].children.find(label);
+      int next;
+      if (it == cst.nodes_[cur].children.end()) {
+        next = static_cast<int>(cst.nodes_.size());
+        cst.nodes_[cur].children.emplace(label, next);
+        TrieNode n;
+        n.label = label;
+        n.parent = cur;
+        cst.nodes_.push_back(std::move(n));
+      } else {
+        next = it->second;
+      }
+      ++cst.nodes_[next].count;
+      cur = next;
+    }
+  }
+  cst.Prune(options.budget_bytes);
+  return cst;
+}
+
+void CorrelatedSuffixTree::Prune(size_t budget_bytes) {
+  if (SizeBytes() <= budget_bytes) return;
+  // Greedy low-frequency pruning: repeatedly drop the live leaf with the
+  // smallest count. A min-heap of (count, node) with lazy re-validation.
+  using Entry = std::pair<uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::vector<int> live_children(nodes_.size(), 0);
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    live_children[nodes_[i].parent]++;
+  }
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    if (live_children[i] == 0) {
+      heap.emplace(nodes_[i].count, static_cast<int>(i));
+    }
+  }
+  while (SizeBytes() > budget_bytes && !heap.empty()) {
+    auto [count, idx] = heap.top();
+    heap.pop();
+    TrieNode& n = nodes_[idx];
+    if (!n.alive || live_children[idx] != 0) continue;
+    n.alive = false;
+    ++free_count_;
+    nodes_[n.parent].children.erase(n.label);
+    if (--live_children[n.parent] == 0 && n.parent != 0) {
+      heap.emplace(nodes_[n.parent].count, n.parent);
+    }
+  }
+}
+
+int CorrelatedSuffixTree::ChildOf(int node, xml::TagId label) const {
+  auto it = nodes_[node].children.find(label);
+  return it == nodes_[node].children.end() ? -1 : it->second;
+}
+
+int64_t CorrelatedSuffixTree::ExactLookup(
+    const std::vector<xml::TagId>& seq) const {
+  // `seq` is a downward path l1..lm; the trie stores upward paths, so we
+  // descend on the reversed sequence.
+  int cur = 0;
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    cur = ChildOf(cur, *it);
+    if (cur < 0) return -1;
+  }
+  return static_cast<int64_t>(nodes_[cur].count);
+}
+
+namespace {
+
+uint64_t SeqHash(const std::vector<xml::TagId>& seq, size_t from,
+                 size_t to) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = from; i < to; ++i) {
+    h = (h ^ seq[i]) * 0x100000001b3ULL;
+  }
+  return h ^ ((to - from) << 56);
+}
+
+}  // namespace
+
+double CorrelatedSuffixTree::SequenceCount(
+    const std::vector<xml::TagId>& seq,
+    std::unordered_map<uint64_t, double>& memo) const {
+  // Work on the window [from, to) of the (already truncated) sequence via
+  // a recursive lambda to avoid copying subsequences.
+  auto rec = [&](auto&& self, size_t from, size_t to) -> double {
+    if (from >= to) return static_cast<double>(nodes_[0].count);
+    const uint64_t key = SeqHash(seq, from, to);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    double result;
+    std::vector<xml::TagId> window(seq.begin() + from, seq.begin() + to);
+    const int64_t exact = ExactLookup(window);
+    if (exact >= 0) {
+      result = static_cast<double>(exact);
+    } else if (to - from <= 1) {
+      result = 0.0;  // single unknown label
+    } else {
+      // Maximal overlap: count(l1..lm) ≈
+      //   count(l1..l(m-1)) * count(l2..lm) / count(l2..l(m-1)).
+      const double a = self(self, from, to - 1);
+      const double b = self(self, from + 1, to);
+      const double c = self(self, from + 1, to - 1);
+      result = (c > 0.0) ? a * b / c : 0.0;
+    }
+    memo.emplace(key, result);
+    return result;
+  };
+  // Respect the Markov-order cap: only the trailing labels matter.
+  const size_t start =
+      seq.size() > static_cast<size_t>(max_suffix_length_)
+          ? seq.size() - static_cast<size_t>(max_suffix_length_)
+          : 0;
+  return rec(rec, start, seq.size());
+}
+
+double CorrelatedSuffixTree::TupleFactor(
+    const query::TwigQuery& twig, int t, std::vector<xml::TagId>& seq,
+    std::unordered_map<uint64_t, double>& memo) const {
+  const auto& tnode = twig.node(t);
+  if (tnode.children.empty()) return 1.0;
+  const double base = SequenceCount(seq, memo);
+  if (base <= 0.0) return 0.0;
+  double factor = 1.0;
+  for (int c : tnode.children) {
+    const auto& cnode = twig.node(c);
+    if (cnode.tag == query::kUnknownTag) return 0.0;
+    seq.push_back(cnode.tag);
+    const double ext = SequenceCount(seq, memo);
+    const double ratio = ext / base;  // expected children per element
+    double term = ratio * TupleFactor(twig, c, seq, memo);
+    if (cnode.existential) term = std::min(1.0, term);
+    seq.pop_back();
+    factor *= term;
+    if (factor == 0.0) break;
+  }
+  return factor;
+}
+
+double CorrelatedSuffixTree::Estimate(const query::TwigQuery& twig) const {
+  if (twig.empty()) return 0.0;
+  const auto& root = twig.node(twig.root());
+  if (root.tag == query::kUnknownTag) return 0.0;
+  // Only child-axis steps below the root are supported (the comparison
+  // workload contains none others); '//' anchoring at the root falls out
+  // of the suffix semantics: the count of sequence (l) is the number of
+  // elements tagged l anywhere.
+  std::unordered_map<uint64_t, double> memo;
+  std::vector<xml::TagId> seq{root.tag};
+  const double base = SequenceCount(seq, memo);
+  if (base <= 0.0) return 0.0;
+  return base * TupleFactor(twig, twig.root(), seq, memo);
+}
+
+}  // namespace xsketch::cst

@@ -1,0 +1,108 @@
+#include "data/figures.h"
+
+namespace xsketch::data {
+
+using xml::Document;
+using xml::NodeId;
+
+Document MakeBibliography() {
+  Document doc;
+  NodeId bib = doc.AddNode(xml::kInvalidNode, "bib");
+
+  auto add_paper = [&](NodeId author, int year, int keywords) {
+    NodeId p = doc.AddNode(author, "paper");
+    NodeId t = doc.AddNode(p, "title");
+    doc.SetValue(t, static_cast<int64_t>(1000 + year % 100));
+    NodeId y = doc.AddNode(p, "year");
+    doc.SetValue(y, static_cast<int64_t>(year));
+    for (int i = 0; i < keywords; ++i) {
+      NodeId k = doc.AddNode(p, "keyword");
+      doc.SetValue(k, static_cast<int64_t>(10 + i));
+    }
+    return p;
+  };
+
+  // Author a1: one name, two papers (p4 with two keywords, p5 with one).
+  NodeId a1 = doc.AddNode(bib, "author");
+  doc.SetValue(doc.AddNode(a1, "name"), static_cast<int64_t>(1));
+  add_paper(a1, 1999, 2);   // p4
+  add_paper(a1, 2002, 1);   // p5
+
+  // Author a2: one name, one paper, one book.
+  NodeId a2 = doc.AddNode(bib, "author");
+  doc.SetValue(doc.AddNode(a2, "name"), static_cast<int64_t>(2));
+  add_paper(a2, 2001, 1);   // p8
+  NodeId b1 = doc.AddNode(a2, "book");
+  doc.SetValue(doc.AddNode(b1, "title"), static_cast<int64_t>(1100));
+
+  // Author a3: one name, one paper.
+  NodeId a3 = doc.AddNode(bib, "author");
+  doc.SetValue(doc.AddNode(a3, "name"), static_cast<int64_t>(3));
+  add_paper(a3, 1998, 1);   // p9
+
+  doc.Seal();
+  return doc;
+}
+
+namespace {
+
+// Shared shape for the two Figure-4 documents: a root with two `a`
+// children, each with the given number of `b` and `c` children.
+Document MakeFigure4(int b1, int c1, int b2, int c2) {
+  Document doc;
+  NodeId root = doc.AddNode(xml::kInvalidNode, "r");
+  auto add_a = [&](int nb, int nc) {
+    NodeId a = doc.AddNode(root, "a");
+    for (int i = 0; i < nb; ++i) doc.AddNode(a, "b");
+    for (int i = 0; i < nc; ++i) doc.AddNode(a, "c");
+  };
+  add_a(b1, c1);
+  add_a(b2, c2);
+  doc.Seal();
+  return doc;
+}
+
+}  // namespace
+
+Document MakeFigure4A() {
+  // f_A(10, 100) = 0.5, f_A(100, 10) = 0.5 -> 10*100 + 100*10 = 2000 tuples.
+  return MakeFigure4(10, 100, 100, 10);
+}
+
+Document MakeFigure4B() {
+  // Same |B| = |C| = 110 and full stability, but 100*100 + 10*10 = 10100.
+  return MakeFigure4(100, 100, 10, 10);
+}
+
+Document MakeMovieIntro() {
+  Document doc;
+  NodeId root = doc.AddNode(xml::kInvalidNode, "movies");
+
+  // type 0 = action (large casts), type 1 = documentary (small casts).
+  struct Spec {
+    int type;
+    int actors;
+    int producers;
+  };
+  const Spec specs[] = {
+      {0, 10, 3}, {0, 8, 2}, {0, 12, 4},
+      {1, 2, 1},  {1, 1, 1},
+  };
+  for (const Spec& s : specs) {
+    NodeId m = doc.AddNode(root, "movie");
+    NodeId t = doc.AddNode(m, "type");
+    doc.SetValue(t, static_cast<int64_t>(s.type));
+    for (int i = 0; i < s.actors; ++i) {
+      NodeId a = doc.AddNode(m, "actor");
+      doc.SetValue(doc.AddNode(a, "name"), static_cast<int64_t>(100 + i));
+    }
+    for (int i = 0; i < s.producers; ++i) {
+      NodeId p = doc.AddNode(m, "producer");
+      doc.SetValue(doc.AddNode(p, "name"), static_cast<int64_t>(200 + i));
+    }
+  }
+  doc.Seal();
+  return doc;
+}
+
+}  // namespace xsketch::data

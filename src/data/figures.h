@@ -1,0 +1,32 @@
+// Small documents lifted from the paper's running examples.
+//
+// MakeBibliography builds a bibliographical document in the spirit of the
+// paper's Figure 1: author elements carrying a name plus papers (title,
+// year, keywords) and books (title). The exact element counts follow the
+// paper's Example 3.1 distribution table (|A| = 3, |P| = 4, f_P as printed).
+//
+// MakeFigure4A / MakeFigure4B build the two documents of Figure 4: both
+// have the same zero-error single-path XSKETCH (A, B, C all
+// backward/forward stable) yet the twig query {A, A/B, A/C} yields 2000
+// binding tuples on A and 10100 on B.
+
+#ifndef XSKETCH_DATA_FIGURES_H_
+#define XSKETCH_DATA_FIGURES_H_
+
+#include "xml/document.h"
+
+namespace xsketch::data {
+
+xml::Document MakeBibliography();
+
+xml::Document MakeFigure4A();
+xml::Document MakeFigure4B();
+
+// The movie fragment from the paper's introduction: movies with a type,
+// actors and producers, where type correlates with cast size. Used by the
+// movie_catalog example and estimator tests.
+xml::Document MakeMovieIntro();
+
+}  // namespace xsketch::data
+
+#endif  // XSKETCH_DATA_FIGURES_H_

@@ -1,0 +1,188 @@
+#include "data/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace xsketch::data {
+
+using util::Rng;
+using util::ZipfSampler;
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+// Cast-size regimes per genre. Genre 0 (think "Action") has big casts and
+// many keywords; the tail genres are documentary-like with tiny casts.
+struct GenreProfile {
+  int actors_lo, actors_hi;
+  int producers_lo, producers_hi;
+  int keywords_lo, keywords_hi;
+  double award_prob;
+};
+
+constexpr GenreProfile kProfiles[] = {
+    {60, 150, 8, 18, 30, 60, 0.30},  // 0: action blockbuster
+    {35, 90, 5, 12, 18, 40, 0.25},   // 1: adventure
+    {18, 50, 3, 8, 10, 24, 0.20},    // 2: drama
+    {10, 30, 2, 6, 6, 14, 0.15},     // 3: comedy
+    {6, 20, 2, 5, 4, 10, 0.10},      // 4: thriller
+    {4, 12, 1, 3, 3, 7, 0.10},       // 5: horror
+    {3, 8, 1, 3, 2, 5, 0.05},        // 6: romance
+    {2, 6, 1, 2, 1, 4, 0.05},        // 7: sci-fi indie
+    {1, 3, 1, 1, 1, 2, 0.02},        // 8: short
+    {1, 2, 1, 1, 1, 2, 0.02},        // 9: documentary
+};
+constexpr int kNumGenres = 10;
+
+struct Gen {
+  Document doc;
+  Rng rng;
+  ZipfSampler genre_zipf;
+  ZipfSampler studio_zipf;
+  int n_movies;
+  int n_studios;
+
+  explicit Gen(const ImdbOptions& options)
+      : rng(options.seed),
+        genre_zipf(kNumGenres, 0.5),
+        studio_zipf(40, 1.2),
+        n_movies(std::max(1, static_cast<int>(940 * options.scale))),
+        n_studios(40) {}
+
+  NodeId Text(NodeId parent, const char* tag, int64_t value) {
+    NodeId n = doc.AddNode(parent, tag);
+    doc.SetValue(n, value);
+    return n;
+  }
+
+  void Movie(NodeId parent, int id, bool indie) {
+    // Independent productions sit directly under the root and skew to the
+    // small-cast genres: the single `movie` synopsis node then mixes two
+    // very different populations, so even chain estimates err until
+    // b-stabilize separates studio movies from independents.
+    int genre = static_cast<int>(genre_zipf.Sample(rng));
+    if (indie) genre = std::min(kNumGenres - 1, genre + 5);
+    const GenreProfile& prof = kProfiles[genre];
+    NodeId movie = doc.AddNode(parent, "movie");
+    Text(movie, "title", id);
+    // Value-structure correlation: blockbusters are recent, documentaries
+    // and shorts span the whole century. Value predicates on `year` then
+    // select structurally-biased subsets, which is what makes the P+V
+    // workloads harder than P (paper §6.2).
+    Text(movie, "year",
+         rng.UniformInt(1930 + (kNumGenres - 1 - genre) * 8, 2003));
+    Text(movie, "type", genre);
+
+    // `shared` couples actor/producer/keyword counts within a movie so
+    // that twig fanouts are correlated *beyond* the genre conditioning.
+    const double shared = rng.NextDouble();
+    auto draw = [&](int lo, int hi) {
+      const double span = static_cast<double>(hi - lo);
+      const double jitter = 0.15 * (rng.NextDouble() - 0.5);
+      double x = std::clamp(shared + jitter, 0.0, 1.0);
+      return lo + static_cast<int>(std::lround(x * span));
+    };
+
+    // Genre-banded vocabularies: actor ids, producer ids and keyword ids
+    // cluster per genre, so a 10%-range value predicate selects a
+    // structurally biased subset of movies (value-structure correlation).
+    const int actors = draw(prof.actors_lo, prof.actors_hi);
+    for (int a = 0; a < actors; ++a) {
+      NodeId actor = doc.AddNode(movie, "actor");
+      Text(actor, "name", genre * 15000 + rng.UniformInt(0, 14999));
+      if (rng.Bernoulli(0.3)) Text(actor, "age", rng.UniformInt(18, 80));
+      if (rng.Bernoulli(prof.award_prob * 0.3)) {
+        NodeId award = doc.AddNode(actor, "award");
+        Text(award, "name", rng.UniformInt(1, 20));
+        Text(award, "year", rng.UniformInt(1930, 2003));
+      }
+    }
+
+    const int producers = draw(prof.producers_lo, prof.producers_hi);
+    for (int p = 0; p < producers; ++p) {
+      NodeId producer = doc.AddNode(movie, "producer");
+      Text(producer, "name", genre * 5000 + rng.UniformInt(0, 4999));
+    }
+
+    // Big productions have a director element with extra structure; shorts
+    // and documentaries frequently omit it (F-instability at movie).
+    if (rng.Bernoulli(genre <= 4 ? 0.95 : 0.5)) {
+      NodeId director = doc.AddNode(movie, "director");
+      Text(director, "name", rng.UniformInt(1, 30000));
+      if (rng.Bernoulli(prof.award_prob)) {
+        NodeId award = doc.AddNode(director, "award");
+        Text(award, "name", rng.UniformInt(1, 20));
+        Text(award, "year", rng.UniformInt(1930, 2003));
+      }
+    }
+
+    const int keywords = draw(prof.keywords_lo, prof.keywords_hi);
+    for (int k = 0; k < keywords; ++k) {
+      Text(movie, "keyword", genre * 300 + rng.UniformInt(0, 299));
+    }
+
+    // Reviews: frequency correlates with cast size (popular movies get
+    // reviewed more).
+    const int reviews = static_cast<int>(
+        rng.UniformInt(0, 1 + actors / 6));
+    for (int r = 0; r < reviews; ++r) {
+      NodeId review = doc.AddNode(movie, "review");
+      Text(review, "rating", rng.UniformInt(std::max(1, 8 - genre), 10));
+      if (rng.Bernoulli(0.4)) Text(review, "critic", rng.UniformInt(1, 500));
+    }
+
+    if (rng.Bernoulli(0.6)) Text(movie, "runtime", rng.UniformInt(5, 240));
+    if (rng.Bernoulli(0.5)) Text(movie, "country", rng.UniformInt(1, 60));
+
+    // Genre-exclusive markers: the independence assumption predicts large
+    // casts for any movie with these branches; in truth narrator/festival
+    // movies are tiny and sequel movies are huge. Real-data correlations of
+    // exactly this kind drive the high coarse-summary error on IMDB.
+    if (genre >= 8 && rng.Bernoulli(0.8)) {
+      NodeId narrator = doc.AddNode(movie, "narrator");
+      Text(narrator, "name", rng.UniformInt(1, 5000));
+    }
+    if (genre >= 7 && rng.Bernoulli(0.5)) {
+      Text(movie, "festival", rng.UniformInt(1, 40));
+    }
+    if (genre <= 1 && rng.Bernoulli(0.35)) {
+      Text(movie, "sequel", rng.UniformInt(1, 8));
+    }
+  }
+
+  Document Build() {
+    NodeId imdb = doc.AddNode(xml::kInvalidNode, "imdb");
+    // Studios are skewed: a few majors hold most movies. Movies hang off
+    // studios so the ancestor context (studio size) correlates with the
+    // movie-level structure — the backward-count correlation pattern.
+    std::vector<NodeId> studios;
+    studios.reserve(n_studios);
+    for (int s = 0; s < n_studios; ++s) {
+      NodeId studio = doc.AddNode(imdb, "studio");
+      Text(studio, "name", s);
+      Text(studio, "founded", rng.UniformInt(1900, 1990));
+      studios.push_back(studio);
+    }
+    for (int m = 0; m < n_movies; ++m) {
+      if (rng.Bernoulli(0.30)) {
+        Movie(imdb, m, /*indie=*/true);
+      } else {
+        Movie(studios[studio_zipf.Sample(rng)], m, /*indie=*/false);
+      }
+    }
+    doc.Seal();
+    return std::move(doc);
+  }
+};
+
+}  // namespace
+
+Document GenerateImdb(const ImdbOptions& options) {
+  Gen gen(options);
+  return gen.Build();
+}
+
+}  // namespace xsketch::data

@@ -1,0 +1,86 @@
+#include "data/swissprot.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace xsketch::data {
+
+using util::Rng;
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+struct Gen {
+  Document doc;
+  Rng rng;
+  int n_entries;
+
+  explicit Gen(const SwissProtOptions& options)
+      : rng(options.seed),
+        n_entries(std::max(1, static_cast<int>(2020 * options.scale))) {}
+
+  NodeId Text(NodeId parent, const char* tag, int64_t value) {
+    NodeId n = doc.AddNode(parent, tag);
+    doc.SetValue(n, value);
+    return n;
+  }
+
+  void Entry(NodeId root, int id) {
+    NodeId entry = doc.AddNode(root, "entry");
+    Text(entry, "ac", id);
+    Text(entry, "id", id);
+    Text(entry, "mol_weight", rng.UniformInt(5000, 250000));
+    Text(entry, "seq_length", rng.UniformInt(50, 2500));
+    Text(entry, "created", rng.UniformInt(19860101, 20031231));
+
+    NodeId organism = doc.AddNode(entry, "organism");
+    Text(organism, "name", rng.UniformInt(1, 2000));
+    Text(organism, "taxonomy", rng.UniformInt(1, 100));
+
+    const int refs = static_cast<int>(rng.UniformInt(1, 3));
+    for (int r = 0; r < refs; ++r) {
+      NodeId reference = doc.AddNode(entry, "reference");
+      const int authors = static_cast<int>(rng.UniformInt(1, 4));
+      for (int a = 0; a < authors; ++a) {
+        Text(reference, "author", rng.UniformInt(1, 50000));
+      }
+      Text(reference, "title", rng.UniformInt(1, 100000));
+      Text(reference, "year", rng.UniformInt(1970, 2003));
+      if (rng.Bernoulli(0.8)) Text(reference, "journal", rng.UniformInt(1, 400));
+    }
+
+    const int features = static_cast<int>(rng.UniformInt(1, 4));
+    for (int f = 0; f < features; ++f) {
+      NodeId feature = doc.AddNode(entry, "feature");
+      Text(feature, "type", rng.UniformInt(1, 30));
+      Text(feature, "from", rng.UniformInt(1, 1200));
+      Text(feature, "to", rng.UniformInt(1, 2500));
+      if (rng.Bernoulli(0.3)) {
+        Text(feature, "description", rng.UniformInt(1, 5000));
+      }
+    }
+
+    const int keywords = static_cast<int>(rng.UniformInt(1, 3));
+    for (int k = 0; k < keywords; ++k) {
+      Text(entry, "keyword", rng.UniformInt(1, 900));
+    }
+  }
+
+  Document Build() {
+    NodeId root = doc.AddNode(xml::kInvalidNode, "sprot");
+    for (int e = 0; e < n_entries; ++e) Entry(root, e);
+    doc.Seal();
+    return std::move(doc);
+  }
+};
+
+}  // namespace
+
+Document GenerateSwissProt(const SwissProtOptions& options) {
+  Gen gen(options);
+  return gen.Build();
+}
+
+}  // namespace xsketch::data

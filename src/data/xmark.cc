@@ -1,0 +1,215 @@
+#include "data/xmark.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace xsketch::data {
+
+using util::Rng;
+using xml::Document;
+using xml::NodeId;
+
+namespace {
+
+// Builder state shared across the sections of the site document.
+struct Gen {
+  Document doc;
+  Rng rng;
+  int n_regions_items;   // items per region
+  int n_categories;
+  int n_people;
+  int n_open;
+  int n_closed;
+
+  explicit Gen(const XMarkOptions& options)
+      : rng(options.seed),
+        n_regions_items(std::max(1, static_cast<int>(190 * options.scale))),
+        n_categories(std::max(1, static_cast<int>(212 * options.scale))),
+        n_people(std::max(1, static_cast<int>(2700 * options.scale))),
+        n_open(std::max(1, static_cast<int>(1270 * options.scale))),
+        n_closed(std::max(1, static_cast<int>(1040 * options.scale))) {}
+
+  NodeId Text(NodeId parent, const char* tag, int64_t value) {
+    NodeId n = doc.AddNode(parent, tag);
+    doc.SetValue(n, value);
+    return n;
+  }
+
+  // description := text | parlist; parlist := listitem+; listitem := text |
+  // parlist. The recursion is the part of XMark that makes the label-split
+  // synopsis graph cyclic, which the estimator's depth-bounded `//`
+  // expansion must handle.
+  void Description(NodeId parent, int depth) {
+    NodeId d = doc.AddNode(parent, "description");
+    if (depth > 0 && rng.Bernoulli(0.35)) {
+      Parlist(d, depth);
+    } else {
+      Text(d, "text", rng.UniformInt(1, 1000));
+    }
+  }
+
+  void Parlist(NodeId parent, int depth) {
+    NodeId pl = doc.AddNode(parent, "parlist");
+    int items = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < items; ++i) {
+      NodeId li = doc.AddNode(pl, "listitem");
+      if (depth > 1 && rng.Bernoulli(0.2)) {
+        Parlist(li, depth - 1);
+      } else {
+        Text(li, "text", rng.UniformInt(1, 1000));
+      }
+    }
+  }
+
+  void Item(NodeId region, int id) {
+    NodeId item = doc.AddNode(region, "item");
+    Text(item, "location", rng.UniformInt(1, 50));
+    Text(item, "quantity", rng.UniformInt(1, 10));
+    Text(item, "name", id);
+    Text(item, "payment", rng.UniformInt(1, 4));
+    Description(item, 2);
+    if (rng.Bernoulli(0.8)) Text(item, "shipping", rng.UniformInt(1, 3));
+    int cats = static_cast<int>(rng.UniformInt(1, 3));
+    for (int c = 0; c < cats; ++c) {
+      Text(item, "incategory", rng.UniformInt(0, n_categories - 1));
+    }
+    if (rng.Bernoulli(0.5)) {
+      NodeId mailbox = doc.AddNode(item, "mailbox");
+      int mails = static_cast<int>(rng.UniformInt(1, 2));
+      for (int m = 0; m < mails; ++m) {
+        NodeId mail = doc.AddNode(mailbox, "mail");
+        Text(mail, "from", rng.UniformInt(0, n_people - 1));
+        Text(mail, "to", rng.UniformInt(0, n_people - 1));
+        Text(mail, "date", rng.UniformInt(19980101, 20031231));
+        Text(mail, "text", rng.UniformInt(1, 1000));
+      }
+    }
+  }
+
+  void Person(NodeId people, int id) {
+    NodeId person = doc.AddNode(people, "person");
+    Text(person, "name", id);
+    Text(person, "emailaddress", id);
+    if (rng.Bernoulli(0.5)) Text(person, "phone", rng.UniformInt(1000000, 9999999));
+    if (rng.Bernoulli(0.4)) {
+      NodeId address = doc.AddNode(person, "address");
+      Text(address, "street", rng.UniformInt(1, 100));
+      Text(address, "city", rng.UniformInt(1, 200));
+      Text(address, "country", rng.UniformInt(1, 30));
+      Text(address, "zipcode", rng.UniformInt(10000, 99999));
+    }
+    if (rng.Bernoulli(0.3)) Text(person, "homepage", id);
+    if (rng.Bernoulli(0.25)) Text(person, "creditcard", rng.UniformInt(1, 1000));
+    if (rng.Bernoulli(0.6)) {
+      NodeId profile = doc.AddNode(person, "profile");
+      Text(profile, "income", rng.UniformInt(10000, 120000));
+      int interests = static_cast<int>(rng.UniformInt(0, 4));
+      for (int i = 0; i < interests; ++i) {
+        Text(profile, "interest", rng.UniformInt(0, n_categories - 1));
+      }
+      if (rng.Bernoulli(0.5)) Text(profile, "education", rng.UniformInt(1, 4));
+      if (rng.Bernoulli(0.7)) Text(profile, "gender", rng.UniformInt(0, 1));
+      Text(profile, "business", rng.UniformInt(0, 1));
+      if (rng.Bernoulli(0.7)) Text(profile, "age", rng.UniformInt(18, 90));
+    }
+    if (rng.Bernoulli(0.4)) {
+      NodeId watches = doc.AddNode(person, "watches");
+      int ws = static_cast<int>(rng.UniformInt(1, 3));
+      for (int w = 0; w < ws; ++w) {
+        Text(watches, "watch", rng.UniformInt(0, n_open - 1));
+      }
+    }
+  }
+
+  void Annotation(NodeId parent) {
+    NodeId ann = doc.AddNode(parent, "annotation");
+    Text(ann, "author", rng.UniformInt(0, n_people - 1));
+    Description(ann, 1);
+    Text(ann, "happiness", rng.UniformInt(1, 10));
+  }
+
+  void OpenAuction(NodeId auctions, int id) {
+    NodeId oa = doc.AddNode(auctions, "open_auction");
+    Text(oa, "initial", rng.UniformInt(1, 200));
+    int bidders = static_cast<int>(rng.UniformInt(0, 5));
+    for (int b = 0; b < bidders; ++b) {
+      NodeId bidder = doc.AddNode(oa, "bidder");
+      Text(bidder, "date", rng.UniformInt(19980101, 20031231));
+      Text(bidder, "time", rng.UniformInt(0, 235959));
+      Text(bidder, "personref", rng.UniformInt(0, n_people - 1));
+      Text(bidder, "increase", rng.UniformInt(1, 50));
+    }
+    Text(oa, "current", rng.UniformInt(1, 500));
+    if (rng.Bernoulli(0.3)) Text(oa, "privacy", rng.UniformInt(0, 1));
+    Text(oa, "itemref", id);
+    Text(oa, "seller", rng.UniformInt(0, n_people - 1));
+    Annotation(oa);
+    Text(oa, "quantity", rng.UniformInt(1, 10));
+    Text(oa, "type", rng.UniformInt(1, 3));
+    NodeId interval = doc.AddNode(oa, "interval");
+    Text(interval, "start", rng.UniformInt(19980101, 20031231));
+    Text(interval, "end", rng.UniformInt(19980101, 20031231));
+  }
+
+  void ClosedAuction(NodeId auctions, int id) {
+    NodeId ca = doc.AddNode(auctions, "closed_auction");
+    Text(ca, "seller", rng.UniformInt(0, n_people - 1));
+    Text(ca, "buyer", rng.UniformInt(0, n_people - 1));
+    Text(ca, "itemref", id);
+    Text(ca, "price", rng.UniformInt(1, 500));
+    Text(ca, "date", rng.UniformInt(19980101, 20031231));
+    Text(ca, "quantity", rng.UniformInt(1, 10));
+    Text(ca, "type", rng.UniformInt(1, 3));
+    Annotation(ca);
+  }
+
+  Document Build() {
+    NodeId site = doc.AddNode(xml::kInvalidNode, "site");
+
+    NodeId regions = doc.AddNode(site, "regions");
+    const char* region_names[] = {"africa",   "asia",    "australia",
+                                  "europe",   "namerica", "samerica"};
+    int item_id = 0;
+    for (const char* rn : region_names) {
+      NodeId region = doc.AddNode(regions, rn);
+      for (int i = 0; i < n_regions_items; ++i) Item(region, item_id++);
+    }
+
+    NodeId categories = doc.AddNode(site, "categories");
+    for (int c = 0; c < n_categories; ++c) {
+      NodeId cat = doc.AddNode(categories, "category");
+      Text(cat, "name", c);
+      Description(cat, 1);
+    }
+
+    NodeId catgraph = doc.AddNode(site, "catgraph");
+    for (int e = 0; e < n_categories; ++e) {
+      NodeId edge = doc.AddNode(catgraph, "edge");
+      Text(edge, "from", rng.UniformInt(0, n_categories - 1));
+      Text(edge, "to", rng.UniformInt(0, n_categories - 1));
+    }
+
+    NodeId people = doc.AddNode(site, "people");
+    for (int p = 0; p < n_people; ++p) Person(people, p);
+
+    NodeId open_auctions = doc.AddNode(site, "open_auctions");
+    for (int a = 0; a < n_open; ++a) OpenAuction(open_auctions, a);
+
+    NodeId closed_auctions = doc.AddNode(site, "closed_auctions");
+    for (int a = 0; a < n_closed; ++a) ClosedAuction(closed_auctions, a);
+
+    doc.Seal();
+    return std::move(doc);
+  }
+};
+
+}  // namespace
+
+Document GenerateXMark(const XMarkOptions& options) {
+  Gen gen(options);
+  return gen.Build();
+}
+
+}  // namespace xsketch::data

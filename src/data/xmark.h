@@ -1,0 +1,33 @@
+// Synthetic XMark-like auction document generator.
+//
+// The paper evaluates on XMark, the standard synthetic auction-site
+// benchmark (Schmidt et al.). This generator reproduces its structural
+// profile — site / regions / categories / people / open and closed
+// auctions, including the recursive description parlist/listitem nesting —
+// with uniform child-count distributions, which is the property the paper
+// relies on ("generated from uniform distributions and ... more regular in
+// structure than IMDB"). Numeric values are attached to quantities, ages,
+// prices, dates and bid amounts so that P+V workloads have value domains
+// to predicate on.
+
+#ifndef XSKETCH_DATA_XMARK_H_
+#define XSKETCH_DATA_XMARK_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xsketch::data {
+
+struct XMarkOptions {
+  uint64_t seed = 42;
+  // Scale roughly proportional to element count; 1.0 yields about 103K
+  // elements, matching Table 1 of the paper.
+  double scale = 1.0;
+};
+
+xml::Document GenerateXMark(const XMarkOptions& options = {});
+
+}  // namespace xsketch::data
+
+#endif  // XSKETCH_DATA_XMARK_H_

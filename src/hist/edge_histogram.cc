@@ -1,0 +1,276 @@
+#include "hist/edge_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace xsketch::hist {
+
+void JointDistribution::Add(const std::vector<uint32_t>& point,
+                            uint64_t weight) {
+  XS_CHECK(static_cast<int>(point.size()) == dims_);
+  weights_[point] += weight;
+  total_ += weight;
+}
+
+namespace {
+
+// Working representation during MHIST construction.
+struct Cell {
+  // Indices into the shared point arrays.
+  std::vector<size_t> members;
+};
+
+struct Points {
+  std::vector<std::vector<uint32_t>> coords;
+  std::vector<uint64_t> weights;
+};
+
+// Weighted spread of `cell` along `dim` (max - min when weight > 0).
+uint32_t Spread(const Points& pts, const Cell& cell, int dim) {
+  uint32_t lo = UINT32_MAX, hi = 0;
+  for (size_t idx : cell.members) {
+    lo = std::min(lo, pts.coords[idx][dim]);
+    hi = std::max(hi, pts.coords[idx][dim]);
+  }
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace
+
+EdgeHistogram EdgeHistogram::Build(const JointDistribution& dist,
+                                   int max_buckets) {
+  EdgeHistogram h;
+  h.dims_ = dist.dims();
+  if (dist.total_weight() == 0 || max_buckets <= 0) return h;
+
+  Points pts;
+  pts.coords.reserve(dist.distinct_points());
+  pts.weights.reserve(dist.distinct_points());
+  dist.ForEach([&](const std::vector<uint32_t>& p, uint64_t w) {
+    pts.coords.push_back(p);
+    pts.weights.push_back(w);
+  });
+
+  std::vector<Cell> cells;
+  Cell root;
+  root.members.resize(pts.coords.size());
+  for (size_t i = 0; i < pts.coords.size(); ++i) root.members[i] = i;
+  cells.push_back(std::move(root));
+
+  // Recursively split the cell with the widest dimension until the budget
+  // is reached or every cell is a single point.
+  while (static_cast<int>(cells.size()) < max_buckets) {
+    size_t best_cell = cells.size();
+    int best_dim = -1;
+    uint32_t best_spread = 0;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].members.size() < 2) continue;
+      for (int d = 0; d < h.dims_; ++d) {
+        uint32_t s = Spread(pts, cells[c], d);
+        if (s > best_spread) {
+          best_spread = s;
+          best_cell = c;
+          best_dim = d;
+        }
+      }
+    }
+    if (best_dim < 0) break;  // all cells are points (or single-valued)
+
+    Cell& cell = cells[best_cell];
+    std::sort(cell.members.begin(), cell.members.end(),
+              [&](size_t a, size_t b) {
+                return pts.coords[a][best_dim] < pts.coords[b][best_dim];
+              });
+    // Weighted median split position; never produce an empty side (the
+    // spread > 0 invariant guarantees a value change exists).
+    uint64_t total = 0;
+    for (size_t idx : cell.members) total += pts.weights[idx];
+    uint64_t acc = 0;
+    size_t split = 0;
+    for (size_t i = 0; i < cell.members.size(); ++i) {
+      acc += pts.weights[cell.members[i]];
+      if (acc * 2 >= total) {
+        split = i + 1;
+        break;
+      }
+    }
+    // Move the split to a value boundary.
+    while (split < cell.members.size() &&
+           pts.coords[cell.members[split]][best_dim] ==
+               pts.coords[cell.members[split - 1]][best_dim]) {
+      ++split;
+    }
+    if (split >= cell.members.size()) {
+      // All the weight sits on the top run; split before it instead.
+      split = cell.members.size() - 1;
+      while (split > 0 && pts.coords[cell.members[split]][best_dim] ==
+                              pts.coords[cell.members[split - 1]][best_dim]) {
+        --split;
+      }
+      if (split == 0) continue;  // single distinct value: nothing to split
+    }
+    Cell right;
+    right.members.assign(cell.members.begin() + split, cell.members.end());
+    cell.members.resize(split);
+    cells.push_back(std::move(right));
+  }
+
+  // Materialize buckets.
+  const double total = static_cast<double>(dist.total_weight());
+  h.buckets_.reserve(cells.size());
+  for (const Cell& cell : cells) {
+    if (cell.members.empty()) continue;
+    Bucket b;
+    b.lo.assign(h.dims_, UINT32_MAX);
+    b.hi.assign(h.dims_, 0);
+    b.mean.assign(h.dims_, 0.0);
+    double w_total = 0.0;
+    for (size_t idx : cell.members) {
+      const double w = static_cast<double>(pts.weights[idx]);
+      w_total += w;
+      for (int d = 0; d < h.dims_; ++d) {
+        b.lo[d] = std::min(b.lo[d], pts.coords[idx][d]);
+        b.hi[d] = std::max(b.hi[d], pts.coords[idx][d]);
+        b.mean[d] += w * static_cast<double>(pts.coords[idx][d]);
+      }
+    }
+    for (int d = 0; d < h.dims_; ++d) b.mean[d] /= w_total;
+    b.fraction = w_total / total;
+    h.buckets_.push_back(std::move(b));
+  }
+  return h;
+}
+
+double EdgeHistogram::MarginalMean(int dim) const {
+  XS_CHECK(dim >= 0 && dim < dims_);
+  double sum = 0.0;
+  for (const Bucket& b : buckets_) sum += b.fraction * b.mean[dim];
+  return sum;
+}
+
+double EdgeHistogram::ExpectedProduct(const std::vector<int>& dims) const {
+  if (buckets_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Bucket& b : buckets_) {
+    double prod = 1.0;
+    for (int d : dims) {
+      XS_CHECK(d >= 0 && d < dims_);
+      prod *= b.mean[d];
+    }
+    sum += b.fraction * prod;
+  }
+  return sum;
+}
+
+std::vector<WeightedPoint> EdgeHistogram::Condition(
+    const std::vector<std::pair<int, double>>& given) const {
+  std::vector<WeightedPoint> out;
+  if (buckets_.empty()) return out;
+
+  std::vector<double> weights(buckets_.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    double w = b.fraction;
+    for (const auto& [dim, value] : given) {
+      XS_CHECK(dim >= 0 && dim < dims_);
+      const double lo = static_cast<double>(b.lo[dim]) - 0.5;
+      const double hi = static_cast<double>(b.hi[dim]) + 0.5;
+      if (value < lo || value > hi) {
+        w = 0.0;
+        break;
+      }
+      // Uniform density over the box span; narrower buckets that cover the
+      // value are more consistent with it.
+      w *= 1.0 / (hi - lo);
+    }
+    weights[i] = w;
+    total += w;
+  }
+
+  if (total <= 0.0) {
+    // No box covers the conditioning point (it may be a fractional mean
+    // from another histogram): fall back to inverse-distance weights so
+    // conditioning degrades gracefully instead of dividing by zero.
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      const Bucket& b = buckets_[i];
+      double dist2 = 0.0;
+      for (const auto& [dim, value] : given) {
+        const double d = b.mean[dim] - value;
+        dist2 += d * d;
+      }
+      weights[i] = b.fraction / (1.0 + dist2);
+      total += weights[i];
+    }
+  }
+  XS_CHECK(total > 0.0);
+
+  out.reserve(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    WeightedPoint p;
+    p.values = buckets_[i].mean;
+    p.prob = weights[i] / total;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double EdgeHistogram::ConditionalRangeFraction(
+    int dim, double lo, double hi,
+    const std::vector<std::pair<int, double>>& given) const {
+  XS_CHECK(dim >= 0 && dim < dims_);
+  if (buckets_.empty() || lo > hi) return 0.0;
+
+  // Reuse Condition's weighting, but we need bucket identities (for the
+  // boxes), so recompute the weights here with the same rules.
+  double total = 0.0;
+  double inside = 0.0;
+  auto accumulate = [&](const Bucket& b, double w) {
+    if (w <= 0.0) return;
+    const double blo = static_cast<double>(b.lo[dim]) - 0.5;
+    const double bhi = static_cast<double>(b.hi[dim]) + 0.5;
+    const double olo = std::max(lo - 0.5, blo);
+    const double ohi = std::min(hi + 0.5, bhi);
+    const double overlap = std::max(0.0, ohi - olo);
+    total += w;
+    inside += w * overlap / (bhi - blo);
+  };
+
+  double weight_sum = 0.0;
+  std::vector<double> weights(buckets_.size(), 0.0);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    double w = b.fraction;
+    for (const auto& [d, value] : given) {
+      const double blo = static_cast<double>(b.lo[d]) - 0.5;
+      const double bhi = static_cast<double>(b.hi[d]) + 0.5;
+      if (value < blo || value > bhi) {
+        w = 0.0;
+        break;
+      }
+      w *= 1.0 / (bhi - blo);
+    }
+    weights[i] = w;
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      const Bucket& b = buckets_[i];
+      double dist2 = 0.0;
+      for (const auto& [d, value] : given) {
+        const double diff = b.mean[d] - value;
+        dist2 += diff * diff;
+      }
+      weights[i] = b.fraction / (1.0 + dist2);
+    }
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    accumulate(buckets_[i], weights[i]);
+  }
+  return total > 0.0 ? inside / total : 0.0;
+}
+
+}  // namespace xsketch::hist

@@ -1,0 +1,126 @@
+// Multidimensional edge histograms (paper §3.2).
+//
+// An edge distribution f_i(C_1, ..., C_k) is a fraction distribution over
+// integer count vectors: the fraction of elements of a synopsis node whose
+// forward/backward path counts equal (c_1, ..., c_k). JointDistribution is
+// the exact sparse form collected from the document; EdgeHistogram is its
+// budget-bounded approximation, built MHIST-style by recursively splitting
+// the bucket with the largest weighted spread at the weighted median of its
+// widest dimension. Buckets keep bounding boxes, per-dimension means and a
+// fraction; estimation assumes per-dimension uniformity and independence
+// inside a bucket (the standard histogram assumptions the paper leans on).
+//
+// The histogram is agnostic to what its dimensions mean; the synopsis layer
+// maps dimension indices to synopsis edges.
+
+#ifndef XSKETCH_HIST_EDGE_HISTOGRAM_H_
+#define XSKETCH_HIST_EDGE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace xsketch::hist {
+
+// Exact sparse joint distribution of count vectors with multiplicities.
+class JointDistribution {
+ public:
+  explicit JointDistribution(int dims) : dims_(dims) {}
+
+  int dims() const { return dims_; }
+  uint64_t total_weight() const { return total_; }
+  size_t distinct_points() const { return weights_.size(); }
+
+  // Records one element whose counts are `point` (size must equal dims()).
+  void Add(const std::vector<uint32_t>& point, uint64_t weight = 1);
+
+  // Visits every (point, weight) pair.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [point, weight] : weights_) fn(point, weight);
+  }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<uint32_t>& v) const {
+      size_t h = 0x9e3779b97f4a7c15ULL;
+      for (uint32_t x : v) h = (h ^ x) * 0x100000001b3ULL;
+      return h;
+    }
+  };
+
+  int dims_;
+  uint64_t total_ = 0;
+  std::unordered_map<std::vector<uint32_t>, uint64_t, VecHash> weights_;
+};
+
+// A reweighted view of the histogram used during estimation: each entry is
+// a representative point with a probability.
+struct WeightedPoint {
+  std::vector<double> values;
+  double prob = 0.0;
+};
+
+class EdgeHistogram {
+ public:
+  struct Bucket {
+    std::vector<uint32_t> lo;   // per-dim box bounds (inclusive)
+    std::vector<uint32_t> hi;
+    std::vector<double> mean;   // per-dim mean of contained points
+    double fraction = 0.0;      // share of elements in this bucket
+  };
+
+  EdgeHistogram() = default;
+
+  // Approximates `dist` with at most `max_buckets` buckets. If the number
+  // of distinct points fits the budget the histogram is exact.
+  static EdgeHistogram Build(const JointDistribution& dist, int max_buckets);
+
+  int dims() const { return dims_; }
+  bool empty() const { return buckets_.empty(); }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  // Mean of one dimension across the whole distribution.
+  double MarginalMean(int dim) const;
+
+  // Expected product of the given dimensions: E[Π_d C_d] under the
+  // within-bucket independence assumption. An empty set yields 1.
+  double ExpectedProduct(const std::vector<int>& dims) const;
+
+  // Conditions on `given` = {(dim, value)} pairs (Correlation Scope
+  // Independence: the returned distribution covers all dims, reweighted by
+  // the likelihood of the given values under each bucket's uniform box
+  // density). Falls back to distance-based soft weights when no bucket box
+  // covers the given values (which can happen when conditioning values are
+  // bucket means from another histogram). Returns a normalized set of
+  // weighted points; empty iff the histogram is empty.
+  std::vector<WeightedPoint> Condition(
+      const std::vector<std::pair<int, double>>& given) const;
+
+  // Fraction of the distribution with dimension `dim` inside [lo, hi],
+  // conditioned on `given` (same semantics as Condition). Uses per-bucket
+  // box uniformity for the partial overlap. Supports the extended
+  // value+count histograms H^v(V, C1..Ck) of the paper's §3.2: dim is the
+  // value dimension and `given` carries correlated count assignments.
+  double ConditionalRangeFraction(
+      int dim, double lo, double hi,
+      const std::vector<std::pair<int, double>>& given) const;
+
+  // Storage charged against the synopsis budget: per bucket, 8 bytes per
+  // dimension for the box + 4 bytes per dimension for the mean + 4 bytes
+  // for the fraction.
+  size_t SizeBytes() const {
+    return buckets_.size() * (12 * static_cast<size_t>(dims_) + 4);
+  }
+
+ private:
+  int dims_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace xsketch::hist
+
+#endif  // XSKETCH_HIST_EDGE_HISTOGRAM_H_

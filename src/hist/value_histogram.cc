@@ -1,0 +1,50 @@
+#include "hist/value_histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xsketch::hist {
+
+ValueHistogram ValueHistogram::Build(std::vector<int64_t> values,
+                                     int max_buckets) {
+  ValueHistogram h;
+  if (values.empty() || max_buckets <= 0) return h;
+  std::sort(values.begin(), values.end());
+  h.total_ = values.size();
+
+  const size_t n = values.size();
+  const size_t per_bucket =
+      std::max<size_t>(1, (n + max_buckets - 1) / max_buckets);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = std::min(n, i + per_bucket);
+    // Never split a run of equal values across buckets: extend until the
+    // value changes so bucket ranges stay disjoint.
+    while (j < n && values[j] == values[j - 1]) ++j;
+    Bucket b;
+    b.lo = values[i];
+    b.hi = values[j - 1];
+    b.count = j - i;
+    h.buckets_.push_back(b);
+    i = j;
+  }
+  return h;
+}
+
+double ValueHistogram::EstimateFraction(int64_t lo, int64_t hi) const {
+  if (buckets_.empty() || lo > hi) return 0.0;
+  double hits = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    const int64_t olo = std::max(lo, b.lo);
+    const int64_t ohi = std::min(hi, b.hi);
+    const double span = static_cast<double>(b.hi - b.lo) + 1.0;
+    const double overlap = static_cast<double>(ohi - olo) + 1.0;
+    hits += static_cast<double>(b.count) * (overlap / span);
+  }
+  XS_CHECK(total_ > 0);
+  return hits / static_cast<double>(total_);
+}
+
+}  // namespace xsketch::hist

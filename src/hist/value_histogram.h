@@ -1,0 +1,50 @@
+// One-dimensional equi-depth histograms over element values.
+//
+// The paper's prototype stores per-node single-dimensional value summaries
+// H(v) used to estimate the selectivity of value predicates (§3.1, §6.1).
+// Buckets hold [lo, hi] integer ranges with a tuple count; range-predicate
+// fractions assume uniformity inside each bucket.
+
+#ifndef XSKETCH_HIST_VALUE_HISTOGRAM_H_
+#define XSKETCH_HIST_VALUE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xsketch::hist {
+
+class ValueHistogram {
+ public:
+  struct Bucket {
+    int64_t lo = 0;
+    int64_t hi = 0;     // inclusive
+    uint64_t count = 0;
+  };
+
+  ValueHistogram() = default;
+
+  // Builds an equi-depth histogram with at most `max_buckets` buckets.
+  // `values` may be in any order. An empty input yields an empty histogram.
+  static ValueHistogram Build(std::vector<int64_t> values, int max_buckets);
+
+  // Fraction of summarized values falling in [lo, hi] (inclusive).
+  double EstimateFraction(int64_t lo, int64_t hi) const;
+
+  bool empty() const { return buckets_.empty(); }
+  uint64_t total_count() const { return total_; }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  // Storage charged against the synopsis budget: 20 bytes per bucket
+  // (lo, hi as 8-byte bounds, 4-byte count).
+  size_t SizeBytes() const { return buckets_.size() * 20; }
+
+ private:
+  std::vector<Bucket> buckets_;  // sorted, disjoint
+  uint64_t total_ = 0;
+};
+
+}  // namespace xsketch::hist
+
+#endif  // XSKETCH_HIST_VALUE_HISTOGRAM_H_

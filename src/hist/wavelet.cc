@@ -1,0 +1,150 @@
+#include "hist/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace xsketch::hist {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+WaveletSummary WaveletSummary::Build(std::vector<int64_t> values, int budget,
+                                     int max_grid) {
+  WaveletSummary w;
+  if (values.empty() || budget <= 0) return w;
+
+  auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  w.domain_lo_ = *lo_it;
+  w.domain_hi_ = *hi_it;
+  w.total_ = values.size();
+
+  const uint64_t span = static_cast<uint64_t>(w.domain_hi_ - w.domain_lo_) + 1;
+  w.grid_ = NextPowerOfTwo(std::min<uint64_t>(
+      span, static_cast<uint64_t>(std::max(1, max_grid))));
+  w.cell_width_ = static_cast<double>(span) / static_cast<double>(w.grid_);
+
+  // Frequency vector over the grid.
+  std::vector<double> freq(w.grid_, 0.0);
+  for (int64_t v : values) {
+    size_t cell = static_cast<size_t>(
+        static_cast<double>(v - w.domain_lo_) / w.cell_width_);
+    cell = std::min(cell, w.grid_ - 1);
+    freq[cell] += 1.0;
+  }
+
+  // Standard 1-D Haar decomposition (averages + details), with the
+  // level-wise normalization that makes coefficient magnitude the right
+  // greedy retention criterion for L2 error.
+  std::vector<double> coeffs(w.grid_, 0.0);
+  std::vector<double> current = freq;
+  size_t len = w.grid_;
+  // Detail coefficients are laid out wavelet-style: index 0 holds the
+  // overall average, indices [len/2, len) the finest details, and so on.
+  std::vector<double> next;
+  while (len > 1) {
+    next.assign(len / 2, 0.0);
+    for (size_t i = 0; i < len / 2; ++i) {
+      next[i] = (current[2 * i] + current[2 * i + 1]) / 2.0;
+      coeffs[len / 2 + i] = (current[2 * i] - current[2 * i + 1]) / 2.0;
+    }
+    current = next;
+    len /= 2;
+  }
+  coeffs[0] = current[0];
+
+  // Retain the `budget` coefficients with the largest normalized
+  // magnitude (|c| * sqrt of support size / grid — equivalently weight by
+  // level).
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(w.grid_);
+  for (size_t i = 0; i < w.grid_; ++i) {
+    if (coeffs[i] == 0.0) continue;
+    // Support of coefficient i: grid/levelsize. Level of index i is the
+    // highest power of two <= i (i = 0 is the average with full support).
+    double support;
+    if (i == 0) {
+      support = static_cast<double>(w.grid_);
+    } else {
+      size_t level = 1;
+      while (level * 2 <= i) level <<= 1;
+      support = static_cast<double>(w.grid_) / static_cast<double>(level);
+    }
+    ranked.emplace_back(std::abs(coeffs[i]) * std::sqrt(support), i);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  const size_t keep =
+      std::min<size_t>(ranked.size(), static_cast<size_t>(budget));
+  w.coefficients_.reserve(keep);
+  for (size_t k = 0; k < keep; ++k) {
+    w.coefficients_.push_back({ranked[k].second, coeffs[ranked[k].second]});
+  }
+  std::sort(w.coefficients_.begin(), w.coefficients_.end(),
+            [](const Coefficient& a, const Coefficient& b) {
+              return a.index < b.index;
+            });
+  return w;
+}
+
+double WaveletSummary::ReconstructCell(size_t cell) const {
+  // Walk the Haar tree from the root to `cell`, accumulating the average
+  // plus signed details along the path.
+  double value = 0.0;
+  for (const Coefficient& c : coefficients_) {
+    if (c.index == 0) {
+      value += c.value;
+      continue;
+    }
+    // Coefficient c.index lives at level `level` (size of its index
+    // block); it covers cells [pos * support, (pos+1) * support) where
+    // pos = index - level and support = grid / level. The sign is + for
+    // the left half, - for the right half.
+    size_t level = 1;
+    while (level * 2 <= c.index) level <<= 1;
+    const size_t support = grid_ / level;
+    const size_t pos = c.index - level;
+    const size_t begin = pos * support;
+    if (cell < begin || cell >= begin + support) continue;
+    value += (cell < begin + support / 2) ? c.value : -c.value;
+  }
+  return value;
+}
+
+double WaveletSummary::EstimateFraction(int64_t lo, int64_t hi) const {
+  if (coefficients_.empty() || total_ == 0 || lo > hi) return 0.0;
+  if (hi < domain_lo_ || lo > domain_hi_) return 0.0;
+  const int64_t clo = std::max(lo, domain_lo_);
+  const int64_t chi = std::min(hi, domain_hi_);
+
+  const double from =
+      static_cast<double>(clo - domain_lo_) / cell_width_;
+  const double to =
+      (static_cast<double>(chi - domain_lo_) + 1.0) / cell_width_;
+  const size_t cell_from = static_cast<size_t>(from);
+  const size_t cell_to = std::min(
+      grid_ - 1, static_cast<size_t>(std::ceil(to)) - 1);
+
+  double count = 0.0;
+  for (size_t cell = cell_from; cell <= cell_to; ++cell) {
+    // Partial first/last cells contribute proportionally (uniformity
+    // within a grid cell).
+    double weight = 1.0;
+    const double cell_begin = static_cast<double>(cell);
+    const double cell_end = cell_begin + 1.0;
+    const double olap =
+        std::min(to, cell_end) - std::max(from, cell_begin);
+    weight = std::clamp(olap, 0.0, 1.0);
+    count += weight * std::max(0.0, ReconstructCell(cell));
+  }
+  return std::clamp(count / static_cast<double>(total_), 0.0, 1.0);
+}
+
+}  // namespace xsketch::hist

@@ -1,0 +1,68 @@
+// Haar-wavelet synopses for one-dimensional frequency distributions.
+//
+// The paper notes (§3.2, §3.3) that edge distributions "can be summarized
+// very efficiently using multidimensional methods such as histograms and
+// wavelets". This module provides the wavelet alternative for the
+// one-dimensional case: the value (or count) frequency vector is
+// transformed with the Haar basis and only the `budget` largest-magnitude
+// normalized coefficients are retained; range-fraction queries reconstruct
+// prefix sums from the sparse coefficient set.
+//
+// Compared to the equi-depth ValueHistogram, wavelet synopses shine on
+// spiky distributions (a few hot values over a wide domain) and lose on
+// smooth ones — the trade-off the `ablation_wavelet` bench measures.
+
+#ifndef XSKETCH_HIST_WAVELET_H_
+#define XSKETCH_HIST_WAVELET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xsketch::hist {
+
+class WaveletSummary {
+ public:
+  WaveletSummary() = default;
+
+  // Builds a summary of `values` keeping at most `budget` coefficients.
+  // The domain [min, max] is binned to a power-of-two grid of at most
+  // `max_grid` cells before transforming.
+  static WaveletSummary Build(std::vector<int64_t> values, int budget,
+                              int max_grid = 1024);
+
+  // Fraction of summarized values in [lo, hi] (inclusive). Reconstruction
+  // error can make raw estimates slightly negative or above one; results
+  // are clamped to [0, 1].
+  double EstimateFraction(int64_t lo, int64_t hi) const;
+
+  bool empty() const { return coefficients_.empty(); }
+  uint64_t total_count() const { return total_; }
+  int coefficient_count() const {
+    return static_cast<int>(coefficients_.size());
+  }
+
+  // Storage charged against a synopsis budget: 8 bytes per retained
+  // coefficient (4-byte index + 4-byte quantized value).
+  size_t SizeBytes() const { return coefficients_.size() * 8; }
+
+ private:
+  struct Coefficient {
+    uint32_t index = 0;
+    double value = 0.0;
+  };
+
+  // Reconstructed (approximate) total frequency of grid cells [0, cell].
+  double ReconstructCell(size_t cell) const;
+
+  std::vector<Coefficient> coefficients_;  // sparse, by Haar index
+  uint64_t total_ = 0;
+  int64_t domain_lo_ = 0;
+  int64_t domain_hi_ = 0;
+  size_t grid_ = 0;        // power of two
+  double cell_width_ = 1;  // domain units per grid cell
+};
+
+}  // namespace xsketch::hist
+
+#endif  // XSKETCH_HIST_WAVELET_H_

@@ -1,0 +1,138 @@
+#include "query/evaluator.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace xsketch::query {
+
+namespace {
+
+// Memo keys combine twig node and element id; twig sizes are tiny so the
+// element id dominates.
+uint64_t Key(int t, xml::NodeId e) {
+  return (static_cast<uint64_t>(t) << 32) | e;
+}
+
+}  // namespace
+
+ExactEvaluator::ExactEvaluator(const xml::Document& doc) : doc_(doc) {
+  XS_CHECK_MSG(doc.sealed(), "evaluator requires a sealed document");
+}
+
+bool ExactEvaluator::MatchesValue(const TwigQuery& twig, int t,
+                                  xml::NodeId e) const {
+  const auto& pred = twig.node(t).pred;
+  if (!pred.has_value()) return true;
+  auto v = doc_.numeric_value(e);
+  return v.has_value() && pred->Matches(*v);
+}
+
+template <typename Fn>
+void ExactEvaluator::ForEachMatch(xml::NodeId e, Axis axis, xml::TagId tag,
+                                  Fn&& fn) const {
+  if (axis == Axis::kChild) {
+    doc_.ForEachChild(e, [&](xml::NodeId c) {
+      if (doc_.tag(c) == tag) fn(c);
+    });
+    return;
+  }
+  // Descendant axis: DFS over the subtree of e (excluding e itself).
+  std::vector<xml::NodeId> stack;
+  doc_.ForEachChild(e, [&](xml::NodeId c) { stack.push_back(c); });
+  while (!stack.empty()) {
+    xml::NodeId cur = stack.back();
+    stack.pop_back();
+    if (doc_.tag(cur) == tag) fn(cur);
+    doc_.ForEachChild(cur, [&](xml::NodeId c) { stack.push_back(c); });
+  }
+}
+
+uint64_t ExactEvaluator::Selectivity(const TwigQuery& twig) const {
+  if (twig.empty()) return 0;
+  std::unordered_map<uint64_t, uint64_t> memo;
+  const auto& root = twig.node(twig.root());
+  uint64_t total = 0;
+  if (root.axis == Axis::kChild) {
+    // Absolute path "/tag": must be the document root element.
+    xml::NodeId r = doc_.root();
+    if (doc_.tag(r) == root.tag) {
+      total = Tuples(twig, twig.root(), r, memo);
+    }
+  } else {
+    // "//tag": any element with the tag.
+    if (root.tag < doc_.tag_count()) {
+      for (xml::NodeId e : doc_.NodesWithTag(root.tag)) {
+        total += Tuples(twig, twig.root(), e, memo);
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t ExactEvaluator::Tuples(
+    const TwigQuery& twig, int t, xml::NodeId e,
+    std::unordered_map<uint64_t, uint64_t>& memo) const {
+  if (!MatchesValue(twig, t, e)) return 0;
+  const auto& node = twig.node(t);
+  if (node.children.empty()) return 1;
+
+  auto it = memo.find(Key(t, e));
+  if (it != memo.end()) return it->second;
+
+  uint64_t product = 1;
+  for (int c : node.children) {
+    const auto& child = twig.node(c);
+    if (child.existential) {
+      bool found = false;
+      ForEachMatch(e, child.axis, child.tag, [&](xml::NodeId m) {
+        if (!found && Satisfies(twig, c, m, memo)) found = true;
+      });
+      if (!found) {
+        product = 0;
+        break;
+      }
+    } else {
+      uint64_t sum = 0;
+      ForEachMatch(e, child.axis, child.tag,
+                   [&](xml::NodeId m) { sum += Tuples(twig, c, m, memo); });
+      if (sum == 0) {
+        product = 0;
+        break;
+      }
+      product *= sum;
+    }
+  }
+  memo.emplace(Key(t, e), product);
+  return product;
+}
+
+bool ExactEvaluator::Satisfies(
+    const TwigQuery& twig, int t, xml::NodeId e,
+    std::unordered_map<uint64_t, uint64_t>& memo) const {
+  // All nodes below an existential node are existential; satisfaction is a
+  // pure AND-of-EXISTS evaluation, also memoized (values 0/1 share the
+  // tuple memo via a distinct key space: existential nodes never appear as
+  // Tuples() roots).
+  if (!MatchesValue(twig, t, e)) return false;
+  const auto& node = twig.node(t);
+  if (node.children.empty()) return true;
+  auto it = memo.find(Key(t, e));
+  if (it != memo.end()) return it->second != 0;
+  bool ok = true;
+  for (int c : node.children) {
+    const auto& child = twig.node(c);
+    bool found = false;
+    ForEachMatch(e, child.axis, child.tag, [&](xml::NodeId m) {
+      if (!found && Satisfies(twig, c, m, memo)) found = true;
+    });
+    if (!found) {
+      ok = false;
+      break;
+    }
+  }
+  memo.emplace(Key(t, e), ok ? 1u : 0u);
+  return ok;
+}
+
+}  // namespace xsketch::query

@@ -1,0 +1,49 @@
+// Exact twig-query evaluation: the ground truth for every experiment.
+//
+// Counts binding tuples by dynamic programming over (twig node, document
+// element) pairs: Tuples(t, e) is the number of binding tuples of the
+// sub-twig rooted at t when t binds to e; existential subtrees contribute
+// a boolean satisfaction check instead of a count. The paper approximates
+// true counts with a "large reference summary" during construction; exact
+// evaluation is a strictly more accurate substitute (DESIGN.md §3).
+
+#ifndef XSKETCH_QUERY_EVALUATOR_H_
+#define XSKETCH_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "query/twig.h"
+#include "xml/document.h"
+
+namespace xsketch::query {
+
+class ExactEvaluator {
+ public:
+  // The document must be sealed and outlive the evaluator.
+  explicit ExactEvaluator(const xml::Document& doc);
+
+  // Number of binding tuples the twig generates over the document.
+  uint64_t Selectivity(const TwigQuery& twig) const;
+
+  // True iff element `e` (already assumed to carry the right tag) matches
+  // node `t`'s value predicate.
+  bool MatchesValue(const TwigQuery& twig, int t, xml::NodeId e) const;
+
+ private:
+  uint64_t Tuples(const TwigQuery& twig, int t, xml::NodeId e,
+                  std::unordered_map<uint64_t, uint64_t>& memo) const;
+  bool Satisfies(const TwigQuery& twig, int t, xml::NodeId e,
+                 std::unordered_map<uint64_t, uint64_t>& memo) const;
+
+  // Calls fn(e') for every element reachable from e via `axis` carrying
+  // `tag`. For the descendant axis this walks the full subtree of e.
+  template <typename Fn>
+  void ForEachMatch(xml::NodeId e, Axis axis, xml::TagId tag, Fn&& fn) const;
+
+  const xml::Document& doc_;
+};
+
+}  // namespace xsketch::query
+
+#endif  // XSKETCH_QUERY_EVALUATOR_H_

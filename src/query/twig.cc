@@ -1,0 +1,122 @@
+#include "query/twig.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace xsketch::query {
+
+std::string ValuePredicate::ToString() const {
+  if (lo == hi) return "=" + std::to_string(lo);
+  if (lo == INT64_MIN) return "<=" + std::to_string(hi);
+  if (hi == INT64_MAX) return ">=" + std::to_string(lo);
+  return " in [" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+}
+
+int TwigQuery::AddNode(int parent, Axis axis, xml::TagId tag,
+                       bool existential, std::optional<ValuePredicate> pred) {
+  if (parent == kNoParent) {
+    XS_CHECK_MSG(nodes_.empty(), "twig already has a root");
+  } else {
+    XS_CHECK(parent >= 0 && parent < size());
+    // Children of existential nodes are implicitly existential: a branching
+    // predicate is an entire existentially-quantified sub-twig.
+    if (nodes_[parent].existential) existential = true;
+  }
+  int id = size();
+  Node n;
+  n.tag = tag;
+  n.axis = axis;
+  n.existential = existential;
+  n.pred = pred;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  if (parent != kNoParent) nodes_[parent].children.push_back(id);
+  return id;
+}
+
+int TwigQuery::binding_count() const {
+  int n = 0;
+  for (const Node& node : nodes_) {
+    if (!node.existential) ++n;
+  }
+  return n;
+}
+
+int TwigQuery::value_predicate_count() const {
+  int n = 0;
+  for (const Node& node : nodes_) {
+    if (node.pred.has_value()) ++n;
+  }
+  return n;
+}
+
+bool TwigQuery::has_descendant_axis() const {
+  for (const Node& node : nodes_) {
+    if (node.axis == Axis::kDescendant) return true;
+  }
+  return false;
+}
+
+bool TwigQuery::has_branching() const {
+  for (const Node& node : nodes_) {
+    if (node.existential) return true;
+  }
+  return false;
+}
+
+double TwigQuery::AvgInternalFanout() const {
+  int internal = 0, edges = 0;
+  for (const Node& node : nodes_) {
+    if (!node.children.empty()) {
+      ++internal;
+      edges += static_cast<int>(node.children.size());
+    }
+  }
+  return internal == 0 ? 0.0
+                       : static_cast<double>(edges) /
+                             static_cast<double>(internal);
+}
+
+std::vector<int> TwigQuery::DepthFirstOrder() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  std::vector<int> stack;
+  if (!nodes_.empty()) stack.push_back(0);
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    const auto& kids = nodes_[cur].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::string TwigQuery::ToString(const util::StringInterner& tags) const {
+  if (nodes_.empty()) return "for <empty>";
+  std::string out = "for ";
+  const std::vector<int> order = DepthFirstOrder();
+  bool first = true;
+  for (int i : order) {
+    const Node& n = nodes_[i];
+    if (!first) out += ", ";
+    first = false;
+    out += (n.existential ? "e" : "t") + std::to_string(i) + " in ";
+    if (n.parent == kNoParent) {
+      out += (n.axis == Axis::kDescendant) ? "//" : "/";
+    } else {
+      out += (nodes_[n.parent].existential ? "e" : "t") +
+             std::to_string(n.parent);
+      out += (n.axis == Axis::kDescendant) ? "//" : "/";
+    }
+    out += tags.Get(n.tag);
+    if (n.pred.has_value()) out += "[." + n.pred->ToString() + "]";
+    if (n.existential) out += " (exists)";
+  }
+  return out;
+}
+
+}  // namespace xsketch::query

@@ -1,0 +1,100 @@
+// Twig query model (paper §2).
+//
+// A twig query is a node-labeled tree. Each node carries a label (tag), an
+// axis describing how it relates to its parent (child '/' or descendant
+// '//'), an optional value predicate on the element's own value, and an
+// `existential` flag: existential nodes are branching predicates (the
+// semi-join "[...]" form — they must be matched but do not multiply binding
+// tuples), while non-existential nodes are binding variables.
+//
+// The selectivity of a twig query is the number of binding tuples it
+// generates: one tuple per assignment of document elements to all
+// non-existential nodes consistent with the structural constraints, such
+// that every existential subtree is satisfied.
+
+#ifndef XSKETCH_QUERY_TWIG_H_
+#define XSKETCH_QUERY_TWIG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/string_interner.h"
+#include "xml/document.h"
+
+namespace xsketch::query {
+
+// Inclusive integer range predicate on an element's own (numeric) value.
+// Non-numeric or missing values never match.
+struct ValuePredicate {
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+
+  bool Matches(int64_t v) const { return v >= lo && v <= hi; }
+
+  std::string ToString() const;
+};
+
+enum class Axis : uint8_t {
+  kChild,       // '/'
+  kDescendant,  // '//'
+};
+
+// Arena-allocated twig tree. Node 0 is the root; its axis is interpreted
+// relative to a virtual node above the document root (kChild means "must be
+// the document root element", kDescendant means "any element with this
+// tag").
+class TwigQuery {
+ public:
+  static constexpr int kNoParent = -1;
+
+  struct Node {
+    xml::TagId tag = 0;
+    Axis axis = Axis::kChild;
+    bool existential = false;
+    std::optional<ValuePredicate> pred;
+    int parent = kNoParent;
+    std::vector<int> children;
+  };
+
+  TwigQuery() = default;
+
+  // Adds a node; the first added node is the root (parent must be
+  // kNoParent). Returns the node index.
+  int AddNode(int parent, Axis axis, xml::TagId tag,
+              bool existential = false,
+              std::optional<ValuePredicate> pred = std::nullopt);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  const Node& node(int i) const { return nodes_[i]; }
+  Node& mutable_node(int i) { return nodes_[i]; }
+  int root() const { return 0; }
+
+  // Number of binding (non-existential) nodes.
+  int binding_count() const;
+  // Number of nodes carrying value predicates.
+  int value_predicate_count() const;
+  // True if any node uses the descendant axis.
+  bool has_descendant_axis() const;
+  // True if any node is existential (a branching predicate).
+  bool has_branching() const;
+  // Average child count over internal nodes ("fanout" in Table 2).
+  double AvgInternalFanout() const;
+
+  // Nodes in depth-first (pre-order) order starting at the root; parents
+  // always precede children.
+  std::vector<int> DepthFirstOrder() const;
+
+  // Renders an XQuery-style for-clause, e.g.
+  //   for t0 in //movie, t1 in t0/actor, t2 in t0/producer[award]
+  std::string ToString(const util::StringInterner& tags) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xsketch::query
+
+#endif  // XSKETCH_QUERY_TWIG_H_

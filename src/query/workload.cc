@@ -1,0 +1,279 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace xsketch::query {
+
+namespace {
+
+// Per-tag numeric value domain, used to size the 10% predicate ranges.
+struct TagDomain {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  bool valid() const { return lo <= hi; }
+};
+
+std::vector<TagDomain> ComputeDomains(const xml::Document& doc) {
+  std::vector<TagDomain> domains(doc.tag_count());
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    auto v = doc.numeric_value(e);
+    if (!v.has_value()) continue;
+    TagDomain& d = domains[doc.tag(e)];
+    d.lo = std::min(d.lo, *v);
+    d.hi = std::max(d.hi, *v);
+  }
+  return domains;
+}
+
+class Generator {
+ public:
+  Generator(const xml::Document& doc, const WorkloadOptions& options)
+      : doc_(doc),
+        options_(options),
+        rng_(options.seed),
+        eval_(doc),
+        domains_(ComputeDomains(doc)) {}
+
+  Workload Positive() {
+    Workload workload;
+    workload.queries.reserve(options_.num_queries);
+    int guard = 0;
+    while (static_cast<int>(workload.queries.size()) <
+           options_.num_queries) {
+      XS_CHECK_MSG(++guard < options_.num_queries * 200,
+                   "positive workload generation is not converging");
+      WorkloadQuery q;
+      if (!TryBuild(&q)) continue;
+      q.true_count = eval_.Selectivity(q.twig);
+      if (q.true_count == 0) continue;
+      workload.queries.push_back(std::move(q));
+    }
+    return workload;
+  }
+
+  Workload Negative() {
+    Workload workload;
+    workload.queries.reserve(options_.num_queries);
+    int guard = 0;
+    while (static_cast<int>(workload.queries.size()) <
+           options_.num_queries) {
+      XS_CHECK_MSG(++guard < options_.num_queries * 500,
+                   "negative workload generation is not converging");
+      WorkloadQuery q;
+      if (!TryBuild(&q)) continue;
+      if (eval_.Selectivity(q.twig) == 0) continue;  // start from positive
+      Sabotage(&q.twig);
+      if (eval_.Selectivity(q.twig) != 0) continue;
+      q.true_count = 0;
+      workload.queries.push_back(std::move(q));
+    }
+    return workload;
+  }
+
+ private:
+  // Builds a candidate positive twig with witnesses; false on a dead end.
+  bool TryBuild(WorkloadQuery* out) {
+    const int target =
+        static_cast<int>(rng_.UniformInt(options_.min_nodes,
+                                         options_.max_nodes));
+    // Witness element: prefer elements deep enough to leave room for
+    // branches but shallow enough that the chain fits the budget.
+    xml::NodeId witness =
+        static_cast<xml::NodeId>(rng_.Uniform(doc_.size()));
+    std::vector<xml::NodeId> chain;  // root ... witness
+    for (xml::NodeId cur = witness;; cur = doc_.parent(cur)) {
+      chain.push_back(cur);
+      if (doc_.parent(cur) == xml::kInvalidNode) break;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    // Anchor: either the full chain from the root ('/'), or '//' at a
+    // random ancestor.
+    size_t start = 0;
+    Axis root_axis = Axis::kChild;
+    if (chain.size() > 1 && rng_.Bernoulli(options_.descendant_root_prob)) {
+      start = rng_.Uniform(chain.size());
+      if (start > 0) root_axis = Axis::kDescendant;
+    }
+    if (chain.size() - start > static_cast<size_t>(target)) {
+      return false;  // chain alone would blow the node budget; retry
+    }
+
+    TwigQuery twig;
+    std::vector<xml::NodeId> witness_of;  // twig node -> witness element
+    int parent = TwigQuery::kNoParent;
+    for (size_t i = start; i < chain.size(); ++i) {
+      Axis axis = (i == start) ? root_axis : Axis::kChild;
+      parent = twig.AddNode(parent, axis, doc_.tag(chain[i]));
+      witness_of.push_back(chain[i]);
+    }
+
+    // Grow branches from witnessed elements until the budget is reached.
+    int attempts = 0;
+    while (twig.size() < target && attempts++ < 40) {
+      const int t = static_cast<int>(rng_.Uniform(twig.size()));
+      if (twig.node(t).existential) continue;
+      const xml::NodeId el = witness_of[t];
+      std::vector<xml::NodeId> kids = doc_.Children(el);
+      if (kids.empty()) continue;
+      const xml::NodeId pick = kids[rng_.Uniform(kids.size())];
+      // Avoid degenerate twigs that bind the same tag twice under one node
+      // (c^2 products that no realistic query asks for).
+      bool duplicate = false;
+      for (int c : twig.node(t).children) {
+        if (twig.node(c).tag == doc_.tag(pick)) duplicate = true;
+      }
+      if (duplicate) continue;
+      const bool existential = rng_.Bernoulli(options_.existential_prob);
+      int node = twig.AddNode(t, Axis::kChild, doc_.tag(pick), existential);
+      witness_of.push_back(pick);
+      // Occasionally extend the new branch one level deeper.
+      if (twig.size() < target && rng_.Bernoulli(0.35)) {
+        std::vector<xml::NodeId> gkids = doc_.Children(pick);
+        if (!gkids.empty()) {
+          const xml::NodeId gpick = gkids[rng_.Uniform(gkids.size())];
+          twig.AddNode(node, Axis::kChild, doc_.tag(gpick), existential);
+          witness_of.push_back(gpick);
+        }
+      }
+    }
+    if (twig.size() < options_.min_nodes) return false;
+
+    // Value predicates (P+V workloads).
+    if (options_.value_pred_fraction > 0.0 &&
+        rng_.Bernoulli(options_.value_pred_fraction)) {
+      if (!AddValuePredicates(&twig, witness_of)) return false;
+    }
+
+    out->twig = std::move(twig);
+    return true;
+  }
+
+  bool AddValuePredicates(TwigQuery* twig,
+                          const std::vector<xml::NodeId>& witness_of) {
+    // Candidate nodes: witnesses with numeric values over a usable domain.
+    std::vector<int> candidates;
+    for (int t = 0; t < twig->size(); ++t) {
+      auto v = doc_.numeric_value(witness_of[t]);
+      if (!v.has_value()) continue;
+      const TagDomain& d = domains_[twig->node(t).tag];
+      if (d.valid() && d.hi > d.lo) candidates.push_back(t);
+    }
+    if (candidates.empty()) return false;
+    const int npreds = 1 + static_cast<int>(rng_.Uniform(
+                               std::min<size_t>(options_.max_value_preds,
+                                                candidates.size())));
+    for (int i = 0; i < npreds; ++i) {
+      const int t = candidates[rng_.Uniform(candidates.size())];
+      if (twig->node(t).pred.has_value()) continue;
+      const TagDomain& d = domains_[twig->node(t).tag];
+      const int64_t v = *doc_.numeric_value(witness_of[t]);
+      const int64_t width = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 std::llround(static_cast<double>(d.hi - d.lo) *
+                              options_.value_range_fraction)));
+      // Place the range to contain the witness value.
+      int64_t lo = v - static_cast<int64_t>(rng_.Uniform(
+                           static_cast<uint64_t>(width) + 1));
+      lo = std::clamp(lo, d.lo, std::max(d.lo, d.hi - width));
+      ValuePredicate pred;
+      pred.lo = lo;
+      pred.hi = lo + width;
+      twig->mutable_node(t).pred = pred;
+    }
+    return true;
+  }
+
+  // Turns a positive query into (a candidate) zero-selectivity query.
+  void Sabotage(TwigQuery* twig) {
+    const int t = static_cast<int>(rng_.Uniform(twig->size()));
+    switch (rng_.Uniform(3)) {
+      case 0: {
+        // Relabel a node with a random (likely contextually absent) tag.
+        twig->mutable_node(t).tag =
+            static_cast<xml::TagId>(rng_.Uniform(doc_.tag_count()));
+        break;
+      }
+      case 1: {
+        // Out-of-domain value predicate.
+        const TagDomain& d = domains_[twig->node(t).tag];
+        ValuePredicate pred;
+        pred.lo = d.valid() ? d.hi + 1 : 1;
+        pred.hi = pred.lo + 10;
+        twig->mutable_node(t).pred = pred;
+        break;
+      }
+      default: {
+        // Existential branch whose tag never appears below the node's tag.
+        twig->AddNode(t, Axis::kChild,
+                      static_cast<xml::TagId>(rng_.Uniform(doc_.tag_count())),
+                      /*existential=*/true);
+        break;
+      }
+    }
+  }
+
+  const xml::Document& doc_;
+  WorkloadOptions options_;
+  util::Rng rng_;
+  ExactEvaluator eval_;
+  std::vector<TagDomain> domains_;
+};
+
+}  // namespace
+
+double Workload::AvgResult() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += static_cast<double>(q.true_count);
+  return sum / static_cast<double>(queries.size());
+}
+
+double Workload::AvgFanout() const {
+  if (queries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& q : queries) sum += q.twig.AvgInternalFanout();
+  return sum / static_cast<double>(queries.size());
+}
+
+double Workload::SanityBound(double pct) const {
+  if (queries.empty()) return 1.0;
+  std::vector<uint64_t> counts;
+  counts.reserve(queries.size());
+  for (const auto& q : queries) counts.push_back(q.true_count);
+  std::sort(counts.begin(), counts.end());
+  size_t idx = static_cast<size_t>(pct * static_cast<double>(counts.size()));
+  idx = std::min(idx, counts.size() - 1);
+  return std::max<double>(1.0, static_cast<double>(counts[idx]));
+}
+
+Workload GeneratePositiveWorkload(const xml::Document& doc,
+                                  const WorkloadOptions& options) {
+  Generator gen(doc, options);
+  return gen.Positive();
+}
+
+Workload GenerateNegativeWorkload(const xml::Document& doc,
+                                  const WorkloadOptions& options) {
+  Generator gen(doc, options);
+  return gen.Negative();
+}
+
+double AvgRelativeError(const Workload& workload,
+                        const std::vector<double>& estimates, double s) {
+  XS_CHECK(estimates.size() == workload.queries.size());
+  if (estimates.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    const double c = static_cast<double>(workload.queries[i].true_count);
+    sum += std::abs(estimates[i] - c) / std::max(s, c);
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+}  // namespace xsketch::query

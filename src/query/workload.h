@@ -1,0 +1,78 @@
+// Workload generation and the paper's evaluation metric (§6.1).
+//
+// Positive workloads sample a witness element from the document, build the
+// root-to-witness chain (optionally anchored with '//'), and grow branches
+// from witnessed elements so every generated query has non-zero
+// selectivity by construction. P+V workloads add one or two value
+// predicates that cover a random 10% range of the predicated tag's value
+// domain, positioned to contain the witness value. Negative workloads
+// mutate positive queries until their selectivity is exactly zero.
+//
+// The accuracy metric is the average absolute relative error
+// |r - c| / max(s, c) with sanity bound s set to the 10th percentile of the
+// workload's true counts.
+
+#ifndef XSKETCH_QUERY_WORKLOAD_H_
+#define XSKETCH_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "query/twig.h"
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace xsketch::query {
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  int num_queries = 1000;
+  // Total twig nodes per query, uniform in [min_nodes, max_nodes].
+  int min_nodes = 4;
+  int max_nodes = 8;
+  // Fraction of queries that carry value predicates (0.5 for P+V).
+  double value_pred_fraction = 0.0;
+  int max_value_preds = 2;
+  // Width of each value predicate as a fraction of the tag's value domain.
+  double value_range_fraction = 0.10;
+  // Probability that a grown branch is a branching (existential)
+  // predicate rather than an output node. 0 gives "simple path" twigs
+  // (Fig. 9(c) workloads).
+  double existential_prob = 0.5;
+  // Probability that the root step uses '//' anchored below the document
+  // root instead of the full root chain.
+  double descendant_root_prob = 0.5;
+};
+
+struct WorkloadQuery {
+  TwigQuery twig;
+  uint64_t true_count = 0;
+};
+
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+
+  // Table-2 statistics.
+  double AvgResult() const;
+  double AvgFanout() const;
+  // Sanity bound: the `pct` percentile of true counts (default 10%).
+  double SanityBound(double pct = 0.10) const;
+};
+
+// Queries with non-zero selectivity (retries generation until positive).
+Workload GeneratePositiveWorkload(const xml::Document& doc,
+                                  const WorkloadOptions& options);
+
+// Queries with zero selectivity, derived by mutating positive queries.
+Workload GenerateNegativeWorkload(const xml::Document& doc,
+                                  const WorkloadOptions& options);
+
+// Average absolute relative error of `estimates` against the workload's
+// true counts using sanity bound `s`.
+double AvgRelativeError(const Workload& workload,
+                        const std::vector<double>& estimates, double s);
+
+}  // namespace xsketch::query
+
+#endif  // XSKETCH_QUERY_WORKLOAD_H_

@@ -1,0 +1,267 @@
+#include "query/xpath_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xsketch::query {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '@' || c == ':';
+}
+
+// Hand-rolled recursive-descent parser. One instance parses one expression.
+class PathParser {
+ public:
+  PathParser(std::string_view in, const util::StringInterner& tags)
+      : in_(in), tags_(tags) {}
+
+  util::Result<TwigQuery> ParseSinglePath() {
+    TwigQuery twig;
+    util::Status st =
+        ParseStepPath(&twig, TwigQuery::kNoParent, /*existential=*/false);
+    if (!st.ok()) return st;
+    SkipSpace();
+    if (!eof()) return Err("trailing input");
+    if (twig.empty()) return Err("empty path expression");
+    return twig;
+  }
+
+  util::Result<TwigQuery> ParseFor() {
+    TwigQuery twig;
+    SkipSpace();
+    if (Lookahead("for") && !IsNameChar(At(3))) pos_ += 3;
+    std::map<std::string, int, std::less<>> bindings;
+    bool first = true;
+    for (;;) {
+      SkipSpace();
+      if (eof()) break;
+      if (!first) {
+        if (peek() != ',') return Err("expected ','");
+        ++pos_;
+        SkipSpace();
+      }
+      first = false;
+      std::string_view var = ParseName();
+      if (var.empty()) return Err("expected variable name");
+      SkipSpace();
+      if (!Lookahead("in") || IsNameChar(At(2))) return Err("expected 'in'");
+      pos_ += 2;
+      SkipSpace();
+
+      int anchor = TwigQuery::kNoParent;
+      if (!eof() && peek() != '/') {
+        // Relative to a previously bound variable.
+        std::string_view ref = ParseName();
+        auto it = bindings.find(ref);
+        if (it == bindings.end()) {
+          return Err("unbound variable '" + std::string(ref) + "'");
+        }
+        anchor = it->second;
+      } else if (!twig.empty()) {
+        return Err("only the first binding may be absolute");
+      }
+      util::Status st = ParseStepPath(&twig, anchor, /*existential=*/false);
+      if (!st.ok()) return st;
+      // The variable binds to the final node of the step path, i.e. the
+      // most recently added non-existential node.
+      int bound = -1;
+      for (int i = twig.size() - 1; i >= 0; --i) {
+        if (!twig.node(i).existential) {
+          bound = i;
+          break;
+        }
+      }
+      if (bound < 0) return Err("binding resolved to no node");
+      bindings.emplace(std::string(var), bound);
+      SkipSpace();
+      if (eof()) break;
+    }
+    if (twig.empty()) return Err("empty for-clause");
+    return twig;
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  char At(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+  bool Lookahead(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipSpace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  util::Status Err(const std::string& msg) const {
+    return util::Status::ParseError(msg + " at offset " +
+                                    std::to_string(pos_) + " in '" +
+                                    std::string(in_) + "'");
+  }
+
+  std::string_view ParseName() {
+    size_t start = pos_;
+    while (!eof() && IsNameChar(peek())) ++pos_;
+    return in_.substr(start, pos_ - start);
+  }
+
+  xml::TagId InternedOrUnknown(std::string_view name) const {
+    uint32_t id = tags_.Lookup(name);
+    return id == util::StringInterner::kNotFound ? kUnknownTag : id;
+  }
+
+  // Parses a comparison operator + integer into a ValuePredicate.
+  util::Result<ValuePredicate> ParseComparison() {
+    SkipSpace();
+    std::string op;
+    while (!eof() && (peek() == '<' || peek() == '>' || peek() == '=')) {
+      op.push_back(peek());
+      ++pos_;
+    }
+    SkipSpace();
+    size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (pos_ == start) return Err("expected number");
+    int64_t value = 0;
+    std::from_chars(in_.data() + start, in_.data() + pos_, value);
+
+    ValuePredicate pred;
+    if (op == "=" || op == "==") {
+      pred.lo = pred.hi = value;
+    } else if (op == ">") {
+      pred.lo = value + 1;
+    } else if (op == ">=") {
+      pred.lo = value;
+    } else if (op == "<") {
+      pred.hi = value - 1;
+    } else if (op == "<=") {
+      pred.hi = value;
+    } else {
+      return Err("unknown comparison operator '" + op + "'");
+    }
+    return pred;
+  }
+
+  // Parses "step (('/'|'//') step)*" attaching to `parent`.
+  util::Status ParseStepPath(TwigQuery* twig, int parent, bool existential) {
+    for (;;) {
+      SkipSpace();
+      Axis axis = Axis::kChild;
+      if (Lookahead("//")) {
+        axis = Axis::kDescendant;
+        pos_ += 2;
+      } else if (!eof() && peek() == '/') {
+        ++pos_;
+      } else if (parent != TwigQuery::kNoParent && twig->size() > 0 &&
+                 parent != twig->size() - 1) {
+        // First relative step may omit the leading slash only right after
+        // '[': handled by caller passing position at a name.
+      }
+      SkipSpace();
+      std::string_view name = ParseName();
+      if (name.empty()) return Err("expected step name");
+      int node = twig->AddNode(parent, axis, InternedOrUnknown(name),
+                               existential);
+      // Predicates on this step.
+      for (;;) {
+        SkipSpace();
+        if (eof() || peek() != '[') break;
+        ++pos_;  // consume '['
+        SkipSpace();
+        if (!eof() && peek() == '.') {
+          ++pos_;
+          util::Result<ValuePredicate> pred = ParseComparison();
+          if (!pred.ok()) return pred.status();
+          twig->mutable_node(node).pred = pred.value();
+        } else {
+          util::Status st = ParseBranch(twig, node);
+          if (!st.ok()) return st;
+        }
+        SkipSpace();
+        if (eof() || peek() != ']') return Err("expected ']'");
+        ++pos_;
+      }
+      SkipSpace();
+      if (eof() || (peek() != '/')) break;
+      parent = node;
+    }
+    return util::Status::OK();
+  }
+
+  // Parses the inside of "[...]": an existential relative path, optionally
+  // ending in a value comparison.
+  util::Status ParseBranch(TwigQuery* twig, int anchor) {
+    int parent = anchor;
+    for (;;) {
+      SkipSpace();
+      Axis axis = Axis::kChild;
+      if (Lookahead("//")) {
+        axis = Axis::kDescendant;
+        pos_ += 2;
+      } else if (!eof() && peek() == '/') {
+        ++pos_;
+      }
+      SkipSpace();
+      std::string_view name = ParseName();
+      if (name.empty()) return Err("expected name in predicate");
+      parent = twig->AddNode(parent, axis, InternedOrUnknown(name),
+                             /*existential=*/true);
+      // Nested predicates on branch steps.
+      for (;;) {
+        SkipSpace();
+        if (eof() || peek() != '[') break;
+        ++pos_;
+        SkipSpace();
+        if (!eof() && peek() == '.') {
+          ++pos_;
+          util::Result<ValuePredicate> pred = ParseComparison();
+          if (!pred.ok()) return pred.status();
+          twig->mutable_node(parent).pred = pred.value();
+        } else {
+          util::Status st = ParseBranch(twig, parent);
+          if (!st.ok()) return st;
+        }
+        SkipSpace();
+        if (eof() || peek() != ']') return Err("expected ']'");
+        ++pos_;
+      }
+      SkipSpace();
+      if (!eof() && peek() == '/') continue;
+      break;
+    }
+    SkipSpace();
+    if (!eof() && (peek() == '<' || peek() == '>' || peek() == '=')) {
+      util::Result<ValuePredicate> pred = ParseComparison();
+      if (!pred.ok()) return pred.status();
+      twig->mutable_node(parent).pred = pred.value();
+    }
+    return util::Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  const util::StringInterner& tags_;
+};
+
+}  // namespace
+
+util::Result<TwigQuery> ParsePath(std::string_view expr,
+                                  const util::StringInterner& tags) {
+  PathParser parser(expr, tags);
+  return parser.ParseSinglePath();
+}
+
+util::Result<TwigQuery> ParseForClause(std::string_view clause,
+                                       const util::StringInterner& tags) {
+  PathParser parser(clause, tags);
+  return parser.ParseFor();
+}
+
+}  // namespace xsketch::query

@@ -1,0 +1,51 @@
+// Parser for the XPath fragment used by the paper, plus XQuery-style
+// for-clauses that express multi-output twigs.
+//
+// Path expressions (paper §2):   l1{σ1}[branch]/.../ln{σn}[branch]
+// written in XPath syntax, e.g.
+//
+//   //open_auction[bidder/increase>10]/annotation
+//   /site/people/person[profile/age>=30]/name
+//   //movie[type=0][. > 5]/actor
+//
+// `[expr]` is a branching predicate (existential). `[. op N]` predicates
+// the element's own value. `[path op N]` predicates the value of the final
+// node on the existential branch.
+//
+// For-clauses bind multiple output variables (a proper twig):
+//
+//   for t0 in //movie, t1 in t0/actor, t2 in t0/producer
+//
+// (the leading "for" keyword is optional). Each bound variable is a
+// non-existential (binding) twig node; predicates inside the paths are
+// existential as usual.
+//
+// Labels not present in `tags` map to TwigQuery nodes with tag
+// kUnknownTag, which match no element (queries over absent labels have
+// selectivity zero).
+
+#ifndef XSKETCH_QUERY_XPATH_PARSER_H_
+#define XSKETCH_QUERY_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "query/twig.h"
+#include "util/status.h"
+#include "util/string_interner.h"
+
+namespace xsketch::query {
+
+inline constexpr xml::TagId kUnknownTag = 0xFFFFFFFEu;
+
+// Parses a single path expression into a (chain-shaped, plus existential
+// branches) twig query.
+util::Result<TwigQuery> ParsePath(std::string_view expr,
+                                  const util::StringInterner& tags);
+
+// Parses a for-clause with multiple bound variables into a twig query.
+util::Result<TwigQuery> ParseForClause(std::string_view clause,
+                                       const util::StringInterner& tags);
+
+}  // namespace xsketch::query
+
+#endif  // XSKETCH_QUERY_XPATH_PARSER_H_

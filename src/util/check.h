@@ -1,0 +1,31 @@
+// Lightweight invariant-check macros used across the library.
+//
+// XS_CHECK aborts with a message on violated invariants. These are internal
+// consistency checks (programming errors), not data-dependent error paths;
+// recoverable errors use util::Status instead.
+
+#ifndef XSKETCH_UTIL_CHECK_H_
+#define XSKETCH_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define XS_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define XS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "XS_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // XSKETCH_UTIL_CHECK_H_

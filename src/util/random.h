@@ -1,0 +1,59 @@
+// Deterministic pseudo-random generation for data synthesis and sampling.
+//
+// Rng wraps the xoshiro256** generator: fast, high-quality, and — unlike
+// std::mt19937 + std::distribution — bit-for-bit reproducible across
+// standard library implementations, which matters because the synthetic
+// data sets double as test fixtures.
+
+#ifndef XSKETCH_UTIL_RANDOM_H_
+#define XSKETCH_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xsketch::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Approximate Gaussian via the sum of uniforms (Irwin-Hall, n=12).
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent `theta`.
+// Precomputes the CDF once; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  // Returns a rank in [0, n), rank 0 being the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_RANDOM_H_

@@ -1,0 +1,114 @@
+// Status / Result<T>: exception-free error propagation for public APIs.
+//
+// Follows the Arrow/RocksDB idiom: functions that can fail on bad input
+// return Status (or Result<T> when they produce a value). Internal
+// invariant violations use XS_CHECK instead.
+
+#ifndef XSKETCH_UTIL_STATUS_H_
+#define XSKETCH_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace xsketch::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+};
+
+// Value-semantic error descriptor. An engaged message implies failure.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a failure Status. Accessing the value of a
+// failed Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {     // NOLINT(runtime/explicit)
+    XS_CHECK_MSG(!std::get<Status>(data_).ok(),
+                 "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    XS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    XS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    XS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+// StringInterner maps strings (element tags) to dense integer ids.
+//
+// Tag ids index directly into per-tag arrays throughout the library, so the
+// interner guarantees ids are consecutive starting at 0.
+
+#ifndef XSKETCH_UTIL_STRING_INTERNER_H_
+#define XSKETCH_UTIL_STRING_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsketch::util {
+
+class StringInterner {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  // Returns the id of `s`, interning it if new.
+  uint32_t Intern(std::string_view s);
+
+  // Returns the id of `s`, or kNotFound if never interned.
+  uint32_t Lookup(std::string_view s) const;
+
+  // Returns the string for a valid id.
+  const std::string& Get(uint32_t id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_STRING_INTERNER_H_

@@ -1,0 +1,135 @@
+#include "xml/document.h"
+
+#include <charconv>
+
+namespace xsketch::xml {
+
+NodeId Document::AddNode(NodeId parent, std::string_view tag) {
+  return AddNode(parent, tags_.Intern(tag));
+}
+
+NodeId Document::AddNode(NodeId parent, TagId tag) {
+  XS_CHECK_MSG(!sealed_, "AddNode on sealed document");
+  if (parent == kInvalidNode) {
+    XS_CHECK_MSG(nodes_.empty(), "document already has a root");
+  } else {
+    XS_CHECK(parent < nodes_.size());
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.tag = tag;
+  n.parent = parent;
+  nodes_.push_back(n);
+  if (parent != kInvalidNode) {
+    Node& p = nodes_[parent];
+    if (p.first_child == kInvalidNode) {
+      p.first_child = id;
+    } else {
+      nodes_[p.last_child].next_sibling = id;
+    }
+    p.last_child = id;
+  }
+  return id;
+}
+
+void Document::SetValue(NodeId id, std::string_view text) {
+  XS_CHECK(!sealed_);
+  XS_CHECK(id < nodes_.size());
+  XS_CHECK_MSG(nodes_[id].value_index < 0, "value set twice");
+  ValueSlot slot;
+  slot.text.assign(text);
+  int64_t parsed = 0;
+  const char* begin = slot.text.data();
+  const char* end = begin + slot.text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc() && ptr == end && !slot.text.empty()) {
+    slot.numeric = parsed;
+  }
+  nodes_[id].value_index = static_cast<int32_t>(values_.size());
+  values_.push_back(std::move(slot));
+}
+
+void Document::SetValue(NodeId id, int64_t numeric) {
+  SetValue(id, std::to_string(numeric));
+}
+
+void Document::Seal() {
+  XS_CHECK(!sealed_);
+  XS_CHECK_MSG(!nodes_.empty(), "sealing an empty document");
+  sealed_ = true;
+  by_tag_.assign(tags_.size(), {});
+  depth_.assign(nodes_.size(), 0);
+  max_depth_ = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    by_tag_[nodes_[id].tag].push_back(id);
+    if (nodes_[id].parent != kInvalidNode) {
+      depth_[id] = depth_[nodes_[id].parent] + 1;  // parents precede children
+      max_depth_ = std::max(max_depth_, depth_[id]);
+    }
+  }
+}
+
+const std::string& Document::text_value(NodeId id) const {
+  XS_CHECK(has_value(id));
+  return values_[nodes_[id].value_index].text;
+}
+
+std::optional<int64_t> Document::numeric_value(NodeId id) const {
+  if (!has_value(id)) return std::nullopt;
+  return values_[nodes_[id].value_index].numeric;
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  ForEachChild(id, [&](NodeId c) { out.push_back(c); });
+  return out;
+}
+
+size_t Document::ChildCount(NodeId id) const {
+  size_t n = 0;
+  ForEachChild(id, [&](NodeId) { ++n; });
+  return n;
+}
+
+size_t Document::ChildCountWithTag(NodeId id, TagId tag) const {
+  size_t n = 0;
+  ForEachChild(id, [&](NodeId c) {
+    if (nodes_[c].tag == tag) ++n;
+  });
+  return n;
+}
+
+const std::vector<NodeId>& Document::NodesWithTag(TagId tag) const {
+  XS_CHECK(sealed_);
+  static const std::vector<NodeId> kEmpty;
+  if (tag >= by_tag_.size()) return kEmpty;
+  return by_tag_[tag];
+}
+
+uint32_t Document::Depth(NodeId id) const {
+  XS_CHECK(sealed_);
+  return depth_[id];
+}
+
+DocumentStats ComputeStats(const Document& doc) {
+  DocumentStats stats;
+  stats.element_count = doc.size();
+  stats.distinct_tags = doc.tag_count();
+  size_t internal = 0, child_edges = 0;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.has_value(id)) ++stats.value_count;
+    size_t c = doc.ChildCount(id);
+    if (c > 0) {
+      ++internal;
+      child_edges += c;
+    }
+  }
+  stats.avg_fanout =
+      internal == 0 ? 0.0
+                    : static_cast<double>(child_edges) /
+                          static_cast<double>(internal);
+  if (doc.sealed()) stats.max_depth = doc.max_depth();
+  return stats;
+}
+
+}  // namespace xsketch::xml

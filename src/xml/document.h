@@ -1,0 +1,150 @@
+// In-memory XML document: an arena-allocated node-labeled tree.
+//
+// Following the paper's data model (§2), a document is a tree T(V, E) where
+// nodes are elements (attributes are modeled as child elements tagged
+// "@name") and leaf elements may carry values. Values keep both their
+// original text and, when the text is an integer literal, a parsed numeric
+// form used by value predicates.
+
+#ifndef XSKETCH_XML_DOCUMENT_H_
+#define XSKETCH_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+#include "util/string_interner.h"
+
+namespace xsketch::xml {
+
+using NodeId = uint32_t;
+using TagId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+// One tree node. Children form a singly linked list (first_child /
+// next_sibling) so that node construction is append-only and cheap.
+struct Node {
+  TagId tag = 0;
+  NodeId parent = kInvalidNode;
+  NodeId first_child = kInvalidNode;
+  NodeId last_child = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  int32_t value_index = -1;  // index into Document's value arena, or -1
+};
+
+class Document {
+ public:
+  Document() = default;
+
+  // Movable but not copyable: documents are large and shared by reference.
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  // --- Construction -------------------------------------------------------
+
+  // Adds a node under `parent` (kInvalidNode for the root; only one root is
+  // allowed). Returns its id. Ids are assigned in document order.
+  NodeId AddNode(NodeId parent, std::string_view tag);
+  NodeId AddNode(NodeId parent, TagId tag);
+
+  // Attaches a text value to a node; integer literals also get a numeric
+  // form. A node's value may be set at most once.
+  void SetValue(NodeId id, std::string_view text);
+  void SetValue(NodeId id, int64_t numeric);
+
+  // Builds the by-tag index and depth table; call after the tree is final.
+  // Construction APIs may not be used afterwards.
+  void Seal();
+
+  // --- Accessors -----------------------------------------------------------
+
+  bool sealed() const { return sealed_; }
+  size_t size() const { return nodes_.size(); }
+  NodeId root() const {
+    XS_CHECK(!nodes_.empty());
+    return 0;
+  }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  TagId tag(NodeId id) const { return nodes_[id].tag; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+
+  const std::string& tag_name(NodeId id) const {
+    return tags_.Get(nodes_[id].tag);
+  }
+
+  bool has_value(NodeId id) const { return nodes_[id].value_index >= 0; }
+  // Requires has_value(id).
+  const std::string& text_value(NodeId id) const;
+  // Numeric form if the text parses as an integer.
+  std::optional<int64_t> numeric_value(NodeId id) const;
+
+  // Iterates children in document order.
+  template <typename Fn>
+  void ForEachChild(NodeId id, Fn&& fn) const {
+    for (NodeId c = nodes_[id].first_child; c != kInvalidNode;
+         c = nodes_[c].next_sibling) {
+      fn(c);
+    }
+  }
+
+  std::vector<NodeId> Children(NodeId id) const;
+  size_t ChildCount(NodeId id) const;
+  // Number of children of `id` with the given tag.
+  size_t ChildCountWithTag(NodeId id, TagId tag) const;
+
+  // --- Tag table -----------------------------------------------------------
+
+  const util::StringInterner& tags() const { return tags_; }
+  util::StringInterner& mutable_tags() { return tags_; }
+  size_t tag_count() const { return tags_.size(); }
+  // Returns the tag id for `name`, or StringInterner::kNotFound.
+  TagId LookupTag(std::string_view name) const { return tags_.Lookup(name); }
+
+  // --- Sealed-only queries ---------------------------------------------------
+
+  // All nodes carrying a given tag, in document order.
+  const std::vector<NodeId>& NodesWithTag(TagId tag) const;
+  // Depth of a node; the root has depth 0.
+  uint32_t Depth(NodeId id) const;
+  uint32_t max_depth() const {
+    XS_CHECK(sealed_);
+    return max_depth_;
+  }
+
+ private:
+  struct ValueSlot {
+    std::string text;
+    std::optional<int64_t> numeric;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<ValueSlot> values_;
+  util::StringInterner tags_;
+
+  bool sealed_ = false;
+  std::vector<std::vector<NodeId>> by_tag_;  // indexed by TagId
+  std::vector<uint32_t> depth_;
+  uint32_t max_depth_ = 0;
+};
+
+// Summary statistics used by reporting and the Table-1 bench.
+struct DocumentStats {
+  size_t element_count = 0;
+  size_t value_count = 0;
+  size_t distinct_tags = 0;
+  uint32_t max_depth = 0;
+  double avg_fanout = 0.0;  // average child count over internal nodes
+};
+
+DocumentStats ComputeStats(const Document& doc);
+
+}  // namespace xsketch::xml
+
+#endif  // XSKETCH_XML_DOCUMENT_H_

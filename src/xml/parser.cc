@@ -1,0 +1,299 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace xsketch::xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Recursive-descent parser over the raw input.
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : in_(input), options_(options) {}
+
+  util::Result<Document> Run() {
+    SkipProlog();
+    if (eof() || peek() != '<') {
+      return Err("expected root element");
+    }
+    util::Status st = ParseElement(kInvalidNode);
+    if (!st.ok()) return st;
+    SkipMisc();
+    if (!eof()) return Err("trailing content after root element");
+    doc_.Seal();
+    return std::move(doc_);
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+
+  util::Status Err(const std::string& msg) const {
+    return util::Status::ParseError(msg + " at offset " +
+                                    std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (!eof() && IsSpace(peek())) ++pos_;
+  }
+
+  // Skips an already-matched construct up to and including `terminator`.
+  util::Status SkipUntil(std::string_view terminator) {
+    size_t found = in_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      return Err("unterminated markup (expected '" + std::string(terminator) +
+                 "')");
+    }
+    pos_ = found + terminator.size();
+    return util::Status::OK();
+  }
+
+  void SkipProlog() {
+    for (;;) {
+      SkipSpace();
+      if (Lookahead("<?xml") || Lookahead("<?")) {
+        (void)SkipUntil("?>");
+      } else if (Lookahead("<!--")) {
+        (void)SkipUntil("-->");
+      } else if (Lookahead("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (Lookahead("<!--")) {
+        (void)SkipUntil("-->");
+      } else if (Lookahead("<?")) {
+        (void)SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipDoctype() {
+    // DOCTYPE may contain a bracketed internal subset.
+    int bracket_depth = 0;
+    while (!eof()) {
+      char c = in_[pos_++];
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return;
+      }
+    }
+  }
+
+  std::string_view ParseName() {
+    size_t start = pos_;
+    if (!eof() && IsNameStart(peek())) {
+      ++pos_;
+      while (!eof() && IsNameChar(peek())) ++pos_;
+    }
+    return in_.substr(start, pos_ - start);
+  }
+
+  // Decodes entity and character references in `raw` into `out`.
+  static void DecodeText(std::string_view raw, std::string& out) {
+    for (size_t i = 0; i < raw.size();) {
+      char c = raw[i];
+      if (c != '&') {
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        out.push_back(c);
+        ++i;
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        // Emit as UTF-8 (ASCII fast path; multi-byte for the rest).
+        if (code > 0 && code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code >= 0x80 && code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code >= 0x800 && code <= 0xFFFF) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        // Unknown entity: keep verbatim.
+        out.append(raw.substr(i, semi - i + 1));
+      }
+      i = semi + 1;
+    }
+  }
+
+  static void AppendTrimmed(std::string_view chunk, std::string& text) {
+    size_t b = 0, e = chunk.size();
+    while (b < e && IsSpace(chunk[b])) ++b;
+    while (e > b && IsSpace(chunk[e - 1])) --e;
+    if (b == e) return;
+    if (!text.empty()) text.push_back(' ');
+    DecodeText(chunk.substr(b, e - b), text);
+  }
+
+  util::Status ParseAttributes(NodeId elem) {
+    for (;;) {
+      SkipSpace();
+      if (eof()) return Err("unterminated start tag");
+      if (peek() == '>' || peek() == '/') return util::Status::OK();
+      std::string_view name = ParseName();
+      if (name.empty()) return Err("expected attribute name");
+      SkipSpace();
+      if (eof() || peek() != '=') return Err("expected '=' after attribute");
+      ++pos_;
+      SkipSpace();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return Err("expected quoted attribute value");
+      }
+      char quote = in_[pos_++];
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return Err("unterminated attribute value");
+      }
+      std::string_view raw = in_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+      if (options_.attributes_as_children) {
+        NodeId attr = doc_.AddNode(elem, "@" + std::string(name));
+        if (options_.keep_values) {
+          std::string decoded;
+          DecodeText(raw, decoded);
+          doc_.SetValue(attr, decoded);
+        }
+      }
+    }
+  }
+
+  util::Status ParseElement(NodeId parent) {
+    // Caller guarantees peek() == '<' and it's a start tag.
+    ++pos_;  // consume '<'
+    std::string_view name = ParseName();
+    if (name.empty()) return Err("expected element name");
+    NodeId elem = doc_.AddNode(parent, name);
+
+    util::Status st = ParseAttributes(elem);
+    if (!st.ok()) return st;
+
+    if (Lookahead("/>")) {
+      pos_ += 2;
+      return util::Status::OK();
+    }
+    if (eof() || peek() != '>') return Err("expected '>'");
+    ++pos_;
+
+    std::string text;
+    for (;;) {
+      if (eof()) return Err("unterminated element <" + std::string(name) + ">");
+      if (peek() == '<') {
+        if (Lookahead("</")) {
+          pos_ += 2;
+          std::string_view close = ParseName();
+          if (close != name) {
+            return Err("mismatched close tag </" + std::string(close) +
+                       "> for <" + std::string(name) + ">");
+          }
+          SkipSpace();
+          if (eof() || peek() != '>') return Err("expected '>' in close tag");
+          ++pos_;
+          break;
+        }
+        if (Lookahead("<!--")) {
+          st = SkipUntil("-->");
+          if (!st.ok()) return st;
+          continue;
+        }
+        if (Lookahead("<![CDATA[")) {
+          pos_ += 9;
+          size_t end = in_.find("]]>", pos_);
+          if (end == std::string_view::npos) return Err("unterminated CDATA");
+          if (!text.empty()) text.push_back(' ');
+          text.append(in_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (Lookahead("<?")) {
+          st = SkipUntil("?>");
+          if (!st.ok()) return st;
+          continue;
+        }
+        st = ParseElement(elem);
+        if (!st.ok()) return st;
+        continue;
+      }
+      size_t next = in_.find('<', pos_);
+      if (next == std::string_view::npos) {
+        return Err("unterminated element content");
+      }
+      AppendTrimmed(in_.substr(pos_, next - pos_), text);
+      pos_ = next;
+    }
+
+    if (options_.keep_values && !text.empty()) {
+      doc_.SetValue(elem, text);
+    }
+    return util::Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  ParseOptions options_;
+  Document doc_;
+};
+
+}  // namespace
+
+util::Result<Document> ParseDocument(std::string_view input,
+                                     const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Run();
+}
+
+}  // namespace xsketch::xml

@@ -1,0 +1,36 @@
+// A from-scratch, non-validating XML parser producing xml::Document trees.
+//
+// Supported: elements, attributes (mapped to child nodes tagged "@name"),
+// character data, CDATA sections, comments, processing instructions, the
+// XML declaration, a (skipped) DOCTYPE, and the five predefined entities
+// plus numeric character references. Namespaces are kept verbatim in tag
+// names. Mixed content is flattened: an element's value is the
+// concatenation of its trimmed text chunks.
+
+#ifndef XSKETCH_XML_PARSER_H_
+#define XSKETCH_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace xsketch::xml {
+
+struct ParseOptions {
+  // Attributes become child nodes tagged "@name" carrying the attribute
+  // value, matching the paper's data model where attributes are tree nodes.
+  bool attributes_as_children = true;
+  // Retain element text as values.
+  bool keep_values = true;
+};
+
+// Parses a complete XML document from `input`. The returned document is
+// sealed. Fails with ParseError on malformed input (mismatched tags,
+// truncated markup, multiple roots, ...).
+util::Result<Document> ParseDocument(std::string_view input,
+                                     const ParseOptions& options = {});
+
+}  // namespace xsketch::xml
+
+#endif  // XSKETCH_XML_PARSER_H_

@@ -1,0 +1,97 @@
+#include "xml/writer.h"
+
+namespace xsketch::xml {
+
+namespace {
+
+void EscapeInto(const std::string& s, bool attribute, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (attribute) {
+          out += "&quot;";
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+bool IsAttributeNode(const Document& doc, NodeId id) {
+  const std::string& tag = doc.tag_name(id);
+  return !tag.empty() && tag[0] == '@';
+}
+
+void WriteNode(const Document& doc, NodeId id, const WriteOptions& options,
+               int depth, std::string& out) {
+  auto indent = [&](int d) {
+    if (options.indent) out.append(static_cast<size_t>(d) * 2, ' ');
+  };
+
+  indent(depth);
+  out.push_back('<');
+  out += doc.tag_name(id);
+
+  // Attributes first, then element children.
+  std::vector<NodeId> element_children;
+  doc.ForEachChild(id, [&](NodeId c) {
+    if (IsAttributeNode(doc, c)) {
+      out.push_back(' ');
+      out.append(doc.tag_name(c), 1, std::string::npos);  // drop '@'
+      out += "=\"";
+      if (doc.has_value(c)) EscapeInto(doc.text_value(c), true, out);
+      out.push_back('"');
+    } else {
+      element_children.push_back(c);
+    }
+  });
+
+  const bool has_text = doc.has_value(id);
+  if (element_children.empty() && !has_text) {
+    out += "/>";
+    if (options.indent) out.push_back('\n');
+    return;
+  }
+  out.push_back('>');
+
+  if (has_text) {
+    EscapeInto(doc.text_value(id), false, out);
+  }
+  if (!element_children.empty()) {
+    if (options.indent) out.push_back('\n');
+    for (NodeId c : element_children) {
+      WriteNode(doc, c, options, depth + 1, out);
+    }
+    indent(depth);
+  }
+  out += "</";
+  out += doc.tag_name(id);
+  out.push_back('>');
+  if (options.indent) out.push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteDocument(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent) out.push_back('\n');
+  }
+  if (doc.size() > 0) {
+    out.reserve(out.size() + doc.size() * 24);
+    WriteNode(doc, doc.root(), options, 0, out);
+  }
+  return out;
+}
+
+size_t SerializedSize(const Document& doc, const WriteOptions& options) {
+  return WriteDocument(doc, options).size();
+}
+
+}  // namespace xsketch::xml

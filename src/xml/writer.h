@@ -1,0 +1,32 @@
+// Serializes xml::Document trees back to XML text.
+//
+// Nodes tagged "@name" are emitted as attributes of their parent; other
+// nodes become elements. The writer is the inverse of the parser for
+// documents the parser produces (modulo whitespace), which the round-trip
+// tests rely on. It also measures the "text size" of synthetic data sets
+// for the Table-1 bench.
+
+#ifndef XSKETCH_XML_WRITER_H_
+#define XSKETCH_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace xsketch::xml {
+
+struct WriteOptions {
+  bool indent = true;          // pretty-print with two-space indentation
+  bool xml_declaration = true; // emit <?xml version="1.0"?>
+};
+
+// Serializes the whole document.
+std::string WriteDocument(const Document& doc, const WriteOptions& options = {});
+
+// Size in bytes of the serialized document (avoids materializing the string
+// twice for large documents; used to report "Text Size" per Table 1).
+size_t SerializedSize(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace xsketch::xml
+
+#endif  // XSKETCH_XML_WRITER_H_

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cst/cst.h"
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace xsketch::cst {
+namespace {
+
+xml::Document Parse(const char* text) {
+  auto r = xml::ParseDocument(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+double EstimatePath(const CorrelatedSuffixTree& cst,
+                    const xml::Document& doc, const char* path) {
+  auto q = query::ParsePath(path, doc.tags());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return cst.Estimate(q.value());
+}
+
+TEST(CstTest, ExactPathCountsWithoutPruning) {
+  xml::Document doc = data::MakeBibliography();
+  CstOptions opts;
+  opts.budget_bytes = 1 << 20;  // no pruning
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, opts);
+
+  EXPECT_NEAR(EstimatePath(cst, doc, "//author"), 3.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(cst, doc, "//paper"), 4.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(cst, doc, "//paper/keyword"), 5.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(cst, doc, "//keyword"), 5.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(cst, doc, "/bib/author/book"), 1.0, 1e-9);
+}
+
+TEST(CstTest, AbsentPathEstimates) {
+  xml::Document doc = data::MakeBibliography();
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, {});
+  // Unknown labels estimate exactly zero.
+  EXPECT_EQ(EstimatePath(cst, doc, "//nonexistent"), 0.0);
+  // An absent combination of known labels gets a *nonzero* maximal-overlap
+  // back-off estimate (count(book) * count(keyword) / count()): CST cannot
+  // certify structural absence — one of the weaknesses the paper observes
+  // ("extremely large estimation errors on certain queries").
+  const double est = EstimatePath(cst, doc, "//book/keyword");
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(est, 1.0);
+}
+
+TEST(CstTest, TwigCombinesBranchesIndependently) {
+  // Figure 4: CST (path statistics only) cannot distinguish the two
+  // documents — both estimate 2 * 55 * 55 = 6050 under branch
+  // independence.
+  xml::Document a = data::MakeFigure4A();
+  xml::Document b = data::MakeFigure4B();
+  CorrelatedSuffixTree ca = CorrelatedSuffixTree::Build(a, {});
+  CorrelatedSuffixTree cb = CorrelatedSuffixTree::Build(b, {});
+  auto qa = query::ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c",
+                                  a.tags());
+  auto qb = query::ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c",
+                                  b.tags());
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  EXPECT_NEAR(ca.Estimate(qa.value()), 6050.0, 1e-6);
+  EXPECT_NEAR(cb.Estimate(qb.value()), 6050.0, 1e-6);
+}
+
+TEST(CstTest, ExistentialBranchCapsAtOne) {
+  xml::Document doc = data::MakeBibliography();
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, {});
+  // //author[paper]: ratio paper/author = 4/3 capped at 1 -> 3.
+  EXPECT_NEAR(EstimatePath(cst, doc, "//author[paper]"), 3.0, 1e-9);
+  // //author[book]: ratio 1/3 -> estimate 1.
+  EXPECT_NEAR(EstimatePath(cst, doc, "//author[book]"), 1.0, 1e-9);
+}
+
+TEST(CstTest, PruningRespectsBudget) {
+  xml::Document doc = data::GenerateXMark({.seed = 12, .scale = 0.1});
+  CstOptions big;
+  big.budget_bytes = 1 << 22;
+  CorrelatedSuffixTree full = CorrelatedSuffixTree::Build(doc, big);
+  CstOptions small;
+  small.budget_bytes = 8 * 1024;
+  CorrelatedSuffixTree pruned = CorrelatedSuffixTree::Build(doc, small);
+  EXPECT_LE(pruned.SizeBytes(), small.budget_bytes);
+  EXPECT_LT(pruned.node_count(), full.node_count());
+}
+
+TEST(CstTest, MaximalOverlapReconstructsPrunedPaths) {
+  xml::Document doc = data::GenerateXMark({.seed = 12, .scale = 0.1});
+  CstOptions small;
+  small.budget_bytes = 16 * 1024;
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, small);
+  query::ExactEvaluator eval(doc);
+  // Common paths should still be estimated within an order of magnitude.
+  for (const char* path :
+       {"//person/name", "//open_auction/bidder", "//item/quantity"}) {
+    auto q = query::ParsePath(path, doc.tags());
+    ASSERT_TRUE(q.ok());
+    const double truth = static_cast<double>(eval.Selectivity(q.value()));
+    const double est = cst.Estimate(q.value());
+    ASSERT_GT(truth, 0.0);
+    EXPECT_GT(est, truth / 10) << path;
+    EXPECT_LT(est, truth * 10) << path;
+  }
+}
+
+TEST(CstTest, EstimatesFiniteOnWorkload) {
+  xml::Document doc = data::GenerateImdb({.seed = 13, .scale = 0.05});
+  CstOptions opts;
+  opts.budget_bytes = 20 * 1024;
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, opts);
+  query::WorkloadOptions wopts;
+  wopts.seed = 41;
+  wopts.num_queries = 40;
+  wopts.existential_prob = 0.0;  // the CST comparison workload shape
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  for (const auto& q : w.queries) {
+    const double e = cst.Estimate(q.twig);
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_GE(e, 0.0);
+  }
+}
+
+TEST(CstTest, DeterministicBuild) {
+  xml::Document doc = data::GenerateImdb({.seed = 13, .scale = 0.03});
+  CstOptions opts;
+  opts.budget_bytes = 12 * 1024;
+  CorrelatedSuffixTree a = CorrelatedSuffixTree::Build(doc, opts);
+  CorrelatedSuffixTree b = CorrelatedSuffixTree::Build(doc, opts);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  auto q = query::ParsePath("//movie/actor", doc.tags());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(a.Estimate(q.value()), b.Estimate(q.value()));
+}
+
+TEST(CstTest, MarkovOrderCapTruncatesLongPaths) {
+  // Build a deep chain document; queries longer than the cap must still
+  // produce sensible estimates from the truncated suffix.
+  xml::Document doc = Parse(
+      "<l0><l1><l2><l3><l4><l5><l6><l7><l8><l9>x</l9></l8></l7></l6>"
+      "</l5></l4></l3></l2></l1></l0>");
+  CstOptions opts;
+  opts.max_suffix_length = 4;
+  CorrelatedSuffixTree cst = CorrelatedSuffixTree::Build(doc, opts);
+  EXPECT_NEAR(EstimatePath(cst, doc, "/l0/l1/l2/l3/l4/l5/l6/l7/l8/l9"), 1.0,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace xsketch::cst

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsketch::data {
+namespace {
+
+using query::ExactEvaluator;
+using query::ParseForClause;
+
+// --- Paper figures ---------------------------------------------------------------
+
+TEST(FiguresTest, BibliographyShape) {
+  xml::Document doc = MakeBibliography();
+  EXPECT_EQ(doc.tag_name(doc.root()), "bib");
+  EXPECT_EQ(doc.NodesWithTag(doc.LookupTag("author")).size(), 3u);
+  EXPECT_EQ(doc.NodesWithTag(doc.LookupTag("paper")).size(), 4u);
+  EXPECT_EQ(doc.NodesWithTag(doc.LookupTag("book")).size(), 1u);
+  EXPECT_EQ(doc.NodesWithTag(doc.LookupTag("name")).size(), 3u);
+  // Keywords: 2 + 1 + 1 + 1 = 5.
+  EXPECT_EQ(doc.NodesWithTag(doc.LookupTag("keyword")).size(), 5u);
+}
+
+TEST(FiguresTest, Figure4TwigSelectivities) {
+  // The motivating example: same single-path structure, twig selectivities
+  // 2000 vs 10100 (paper §3.2).
+  xml::Document a = MakeFigure4A();
+  xml::Document b = MakeFigure4B();
+  auto twig_a = ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c",
+                               a.tags());
+  auto twig_b = ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c",
+                               b.tags());
+  ASSERT_TRUE(twig_a.ok());
+  ASSERT_TRUE(twig_b.ok());
+  EXPECT_EQ(ExactEvaluator(a).Selectivity(twig_a.value()), 2000u);
+  EXPECT_EQ(ExactEvaluator(b).Selectivity(twig_b.value()), 10100u);
+}
+
+TEST(FiguresTest, Figure4SamePathCounts) {
+  // Any single path expression has the same selectivity over both docs.
+  xml::Document a = MakeFigure4A();
+  xml::Document b = MakeFigure4B();
+  for (const char* path : {"//a", "//b", "//c", "/r", "/r/a/b", "/r/a/c"}) {
+    auto qa = query::ParsePath(path, a.tags());
+    auto qb = query::ParsePath(path, b.tags());
+    ASSERT_TRUE(qa.ok());
+    ASSERT_TRUE(qb.ok());
+    EXPECT_EQ(ExactEvaluator(a).Selectivity(qa.value()),
+              ExactEvaluator(b).Selectivity(qb.value()))
+        << path;
+  }
+}
+
+TEST(FiguresTest, MovieIntroCorrelation) {
+  xml::Document doc = MakeMovieIntro();
+  ExactEvaluator eval(doc);
+  // Action movies (type=0) produce far more actor×producer tuples than
+  // documentaries (type=1).
+  auto action = ParseForClause(
+      "for t0 in //movie[type=0], t1 in t0/actor, t2 in t0/producer",
+      doc.tags());
+  auto docu = ParseForClause(
+      "for t0 in //movie[type=1], t1 in t0/actor, t2 in t0/producer",
+      doc.tags());
+  ASSERT_TRUE(action.ok());
+  ASSERT_TRUE(docu.ok());
+  const uint64_t na = eval.Selectivity(action.value());
+  const uint64_t nd = eval.Selectivity(docu.value());
+  EXPECT_EQ(na, 10u * 3 + 8 * 2 + 12 * 4);
+  EXPECT_EQ(nd, 2u * 1 + 1 * 1);
+  EXPECT_GT(na, 10 * nd);
+}
+
+// --- Generators --------------------------------------------------------------------
+
+TEST(XMarkTest, Deterministic) {
+  xml::Document a = GenerateXMark({.seed = 42, .scale = 0.05});
+  xml::Document b = GenerateXMark({.seed = 42, .scale = 0.05});
+  ASSERT_EQ(a.size(), b.size());
+  for (xml::NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tag(i), b.tag(i));
+  }
+  xml::Document c = GenerateXMark({.seed = 43, .scale = 0.05});
+  EXPECT_NE(a.size(), c.size());  // optional sections differ with the seed
+}
+
+TEST(XMarkTest, StructureContainsExpectedSections) {
+  xml::Document doc = GenerateXMark({.seed = 1, .scale = 0.05});
+  for (const char* tag :
+       {"site", "regions", "europe", "item", "categories", "category",
+        "people", "person", "open_auctions", "open_auction",
+        "closed_auctions", "closed_auction", "parlist", "listitem"}) {
+    EXPECT_NE(doc.LookupTag(tag), util::StringInterner::kNotFound) << tag;
+    EXPECT_FALSE(doc.NodesWithTag(doc.LookupTag(tag)).empty()) << tag;
+  }
+}
+
+TEST(XMarkTest, RecursiveDescriptionNesting) {
+  xml::Document doc = GenerateXMark({.seed = 1, .scale = 0.2});
+  // parlist under listitem demonstrates the recursion that makes the
+  // label-split synopsis graph cyclic.
+  xml::TagId parlist = doc.LookupTag("parlist");
+  xml::TagId listitem = doc.LookupTag("listitem");
+  ASSERT_NE(parlist, util::StringInterner::kNotFound);
+  bool nested = false;
+  for (xml::NodeId n : doc.NodesWithTag(parlist)) {
+    if (doc.tag(doc.parent(n)) == listitem) nested = true;
+  }
+  EXPECT_TRUE(nested);
+}
+
+TEST(XMarkTest, FullScaleElementCountNearPaper) {
+  xml::Document doc = GenerateXMark({});
+  // Table 1: 103,136 elements. Accept +-15%.
+  EXPECT_GT(doc.size(), 85000u);
+  EXPECT_LT(doc.size(), 125000u);
+}
+
+TEST(ImdbTest, FullScaleElementCountNearPaper) {
+  xml::Document doc = GenerateImdb({});
+  // Table 1: 102,755 elements. Accept +-15%.
+  EXPECT_GT(doc.size(), 85000u);
+  EXPECT_LT(doc.size(), 125000u);
+}
+
+TEST(ImdbTest, GenreSkewAndCastCorrelation) {
+  xml::Document doc = GenerateImdb({.seed = 7, .scale = 0.2});
+  xml::TagId movie = doc.LookupTag("movie");
+  xml::TagId type = doc.LookupTag("type");
+  xml::TagId actor = doc.LookupTag("actor");
+  ASSERT_NE(movie, util::StringInterner::kNotFound);
+
+  // Average actor counts per genre bucket: genre 0 >> genre 9.
+  double sum0 = 0, n0 = 0, sum9 = 0, n9 = 0;
+  int genre0 = 0, genre9 = 0;
+  for (xml::NodeId m : doc.NodesWithTag(movie)) {
+    int64_t g = -1;
+    doc.ForEachChild(m, [&](xml::NodeId c) {
+      if (doc.tag(c) == type) g = doc.numeric_value(c).value_or(-1);
+    });
+    const double actors =
+        static_cast<double>(doc.ChildCountWithTag(m, actor));
+    if (g == 0) {
+      sum0 += actors;
+      n0 += 1;
+      ++genre0;
+    } else if (g == 9) {
+      sum9 += actors;
+      n9 += 1;
+      ++genre9;
+    }
+  }
+  ASSERT_GT(n0, 0);
+  ASSERT_GT(n9, 0);
+  EXPECT_GT(sum0 / n0, 4 * (sum9 / n9));  // correlated cast size
+  // Both heads and tails are well-populated (Zipf head + indie tail).
+  EXPECT_GT(genre0, 10);
+  EXPECT_GT(genre9, 10);
+}
+
+TEST(ImdbTest, StudiosSkewed) {
+  xml::Document doc = GenerateImdb({.seed = 7, .scale = 0.2});
+  xml::TagId studio = doc.LookupTag("studio");
+  xml::TagId movie = doc.LookupTag("movie");
+  size_t max_movies = 0, min_movies = SIZE_MAX;
+  for (xml::NodeId s : doc.NodesWithTag(studio)) {
+    size_t m = doc.ChildCountWithTag(s, movie);
+    max_movies = std::max(max_movies, m);
+    min_movies = std::min(min_movies, m);
+  }
+  EXPECT_GT(max_movies, 10 * std::max<size_t>(1, min_movies));
+}
+
+TEST(SwissProtTest, FullScaleElementCountNearPaper) {
+  xml::Document doc = GenerateSwissProt({});
+  // Table 1: 69,599 elements. Accept +-15%.
+  EXPECT_GT(doc.size(), 59000u);
+  EXPECT_LT(doc.size(), 81000u);
+}
+
+TEST(SwissProtTest, RegularStructure) {
+  xml::Document doc = GenerateSwissProt({.seed = 11, .scale = 0.2});
+  xml::TagId entry = doc.LookupTag("entry");
+  xml::TagId organism = doc.LookupTag("organism");
+  // Every entry has exactly one organism: a fully stable edge.
+  for (xml::NodeId e : doc.NodesWithTag(entry)) {
+    EXPECT_EQ(doc.ChildCountWithTag(e, organism), 1u);
+  }
+}
+
+TEST(GeneratorsTest, SerializableAndReparsable) {
+  xml::Document doc = GenerateSwissProt({.seed = 2, .scale = 0.02});
+  std::string text = xml::WriteDocument(doc);
+  auto reparsed = xml::ParseDocument(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().size(), doc.size());
+}
+
+TEST(GeneratorsTest, AllValuesNumericWhereExpected) {
+  xml::Document doc = GenerateImdb({.seed = 3, .scale = 0.02});
+  xml::TagId year = doc.LookupTag("year");
+  for (xml::NodeId n : doc.NodesWithTag(year)) {
+    ASSERT_TRUE(doc.numeric_value(n).has_value());
+    EXPECT_GE(*doc.numeric_value(n), 1930);
+    EXPECT_LE(*doc.numeric_value(n), 2003);
+  }
+}
+
+}  // namespace
+}  // namespace xsketch::data

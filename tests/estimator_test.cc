@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "data/figures.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace xsketch::core {
+namespace {
+
+SynNodeId NodeByTag(const Synopsis& syn, const xml::Document& doc,
+                    const char* tag) {
+  const auto& nodes = syn.NodesWithTag(doc.LookupTag(tag));
+  EXPECT_EQ(nodes.size(), 1u) << tag;
+  return nodes[0];
+}
+
+double EstimatePath(const TwigXSketch& sketch, const char* path) {
+  auto q = query::ParsePath(path, sketch.doc().tags());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return Estimator(sketch).Estimate(q.value());
+}
+
+double EstimateFor(const TwigXSketch& sketch, const char* clause) {
+  auto q = query::ParseForClause(clause, sketch.doc().tags());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return Estimator(sketch).Estimate(q.value());
+}
+
+// --- Figure 4: the motivating example ------------------------------------------------
+
+TEST(EstimatorTest, Figure4ExactWithJointHistogram) {
+  // With the 2-D (b, c) edge histogram the Twig XSKETCH separates the two
+  // documents exactly: 2000 vs 10100 tuples (paper §3.2).
+  xml::Document a = data::MakeFigure4A();
+  xml::Document b = data::MakeFigure4B();
+  CoarsestOptions opts;
+  opts.max_initial_dims = 2;  // joint (b, c) histogram at node A
+  TwigXSketch sa = TwigXSketch::Coarsest(a, opts);
+  TwigXSketch sb = TwigXSketch::Coarsest(b, opts);
+  const char* twig = "for t0 in //a, t1 in t0/b, t2 in t0/c";
+  EXPECT_NEAR(EstimateFor(sa, twig), 2000.0, 1e-6);
+  EXPECT_NEAR(EstimateFor(sb, twig), 10100.0, 1e-6);
+}
+
+TEST(EstimatorTest, Figure4SingleBucketLosesCorrelation) {
+  // One bucket collapses f_A to its means (55, 55): both documents then
+  // estimate 2*55*55 = 6050 — the single-path XSKETCH failure mode.
+  CoarsestOptions opts;
+  opts.initial_buckets = 1;
+  xml::Document a = data::MakeFigure4A();
+  xml::Document b = data::MakeFigure4B();
+  TwigXSketch sa = TwigXSketch::Coarsest(a, opts);
+  TwigXSketch sb = TwigXSketch::Coarsest(b, opts);
+  const char* twig = "for t0 in //a, t1 in t0/b, t2 in t0/c";
+  EXPECT_NEAR(EstimateFor(sa, twig), 6050.0, 1e-6);
+  EXPECT_NEAR(EstimateFor(sb, twig), 6050.0, 1e-6);
+}
+
+TEST(EstimatorTest, Figure4SinglePathsExactEitherWay) {
+  xml::Document a = data::MakeFigure4A();
+  CoarsestOptions opts;
+  opts.initial_buckets = 1;
+  TwigXSketch sketch = TwigXSketch::Coarsest(a, opts);
+  EXPECT_NEAR(EstimatePath(sketch, "//a"), 2.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "//b"), 110.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "/r/a/c"), 110.0, 1e-9);
+}
+
+// --- Bibliography: the paper's §4 worked estimation --------------------------------
+
+class BibliographyEstimation : public ::testing::Test {
+ protected:
+  BibliographyEstimation() : doc_(data::MakeBibliography()) {}
+
+  TwigXSketch MakeSketch(int initial_dims) {
+    CoarsestOptions opts;
+    opts.initial_buckets = 16;
+    opts.max_initial_dims = initial_dims;
+    return TwigXSketch::Coarsest(doc_, opts);
+  }
+
+  // The running example: authors with book, name, paper; paper with
+  // keyword and year (all output nodes). True selectivity is 1 (only a2
+  // has a book, with one paper carrying one keyword and one year).
+  static constexpr const char* kTwig =
+      "for t0 in //author, t1 in t0/book, t2 in t0/name, t3 in t0/paper, "
+      "t4 in t3/keyword, t5 in t3/year";
+
+  xml::Document doc_;
+};
+
+TEST_F(BibliographyEstimation, TruthIsOne) {
+  auto q = query::ParseForClause(kTwig, doc_.tags());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(query::ExactEvaluator(doc_).Selectivity(q.value()), 1u);
+}
+
+TEST_F(BibliographyEstimation, ForwardOnlyUniformityGivesFiveThirds) {
+  // H_A covers (name, paper); book falls to Forward Uniformity (avg 1/3);
+  // H_P covers (title, year, keyword) but is not conditioned on the
+  // ancestor: E[k*y] = 1.25 over all papers. Estimate:
+  //   |A| * (1/3) * sum f_A(n,p) n p * 1.25 = 3 * 1/3 * 4/3 * 1.25 = 5/3.
+  TwigXSketch sketch = MakeSketch(3);
+  EXPECT_NEAR(EstimateFor(sketch, kTwig), 5.0 / 3.0, 1e-6);
+}
+
+TEST_F(BibliographyEstimation, CoveringBookTightensEstimate) {
+  // edge-expand author's histogram with the book count: the b=0 authors
+  // now contribute nothing. Without backward conditioning at paper the
+  // estimate becomes |A| * f_A(1,1,1) * 1 * 1 * 1 * E[k*y] = 1.25.
+  TwigXSketch sketch = MakeSketch(3);
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId a = NodeByTag(syn, doc_, "author");
+  SynNodeId b = NodeByTag(syn, doc_, "book");
+  ASSERT_TRUE(sketch.ExpandScope(a, CountRef{true, a, b}));
+  EXPECT_NEAR(EstimateFor(sketch, kTwig), 1.25, 1e-6);
+}
+
+TEST_F(BibliographyEstimation, BackwardCountMakesEstimateExact) {
+  // Adding the backward count (author→paper) at paper conditions E[k*y]
+  // on the ancestor's paper fanout: E[k*y | p=1] = 1, giving the exact
+  // selectivity 1 (Correlation Scope Independence, paper §4).
+  TwigXSketch sketch = MakeSketch(3);
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId a = NodeByTag(syn, doc_, "author");
+  SynNodeId b = NodeByTag(syn, doc_, "book");
+  SynNodeId p = NodeByTag(syn, doc_, "paper");
+  ASSERT_TRUE(sketch.ExpandScope(a, CountRef{true, a, b}));
+  ASSERT_TRUE(sketch.ExpandScope(p, CountRef{false, a, p}));
+  EXPECT_NEAR(EstimateFor(sketch, kTwig), 1.0, 1e-6);
+}
+
+TEST_F(BibliographyEstimation, SinglePathEstimates) {
+  TwigXSketch sketch = MakeSketch(3);
+  EXPECT_NEAR(EstimatePath(sketch, "/bib"), 1.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "/bib/author"), 3.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "//paper"), 4.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "//paper/keyword"), 5.0, 1e-9);
+  EXPECT_NEAR(EstimatePath(sketch, "//keyword"), 5.0, 1e-9);
+}
+
+TEST_F(BibliographyEstimation, BranchingPredicateViaParentFraction) {
+  // //author[book]: uncovered existential edge uses the stored parent
+  // fraction 1/3 with q=1, giving exactly 1.
+  CoarsestOptions opts;
+  opts.initial_buckets = 16;
+  opts.max_initial_dims = 0;  // no histograms at all
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc_, opts);
+  EXPECT_NEAR(EstimatePath(sketch, "//author[book]"), 1.0, 1e-9);
+  // F-stable branch: every author has a paper.
+  EXPECT_NEAR(EstimatePath(sketch, "//author[paper]"), 3.0, 1e-9);
+}
+
+TEST_F(BibliographyEstimation, BranchingPredicateViaCoveredCount) {
+  TwigXSketch sketch = MakeSketch(3);
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId a = NodeByTag(syn, doc_, "author");
+  SynNodeId b = NodeByTag(syn, doc_, "book");
+  ASSERT_TRUE(sketch.ExpandScope(a, CountRef{true, a, b}));
+  // With the count covered, P[book >= 1] is read off the histogram: 1/3.
+  EXPECT_NEAR(EstimatePath(sketch, "//author[book]"), 1.0, 1e-9);
+}
+
+TEST_F(BibliographyEstimation, ValuePredicates) {
+  TwigXSketch sketch = MakeSketch(3);
+  // Years: 1999, 2002, 2001, 1998. Predicate > 2000 selects half.
+  EXPECT_NEAR(EstimatePath(sketch, "//year[.>2000]"), 2.0, 0.2);
+  // Out-of-domain predicate.
+  EXPECT_NEAR(EstimatePath(sketch, "//year[.>3000]"), 0.0, 1e-9);
+  // Predicate on a node without values estimates zero.
+  EXPECT_NEAR(EstimatePath(sketch, "//author[.>0]"), 0.0, 1e-9);
+}
+
+TEST_F(BibliographyEstimation, ZeroForAbsentStructure) {
+  TwigXSketch sketch = MakeSketch(3);
+  EXPECT_EQ(EstimatePath(sketch, "//nonexistent"), 0.0);
+  EXPECT_EQ(EstimatePath(sketch, "//book/keyword"), 0.0);
+  EXPECT_EQ(EstimatePath(sketch, "/author"), 0.0);  // root tag mismatch
+  EXPECT_EQ(EstimateFor(sketch, "for t0 in //book, t1 in t0/year"), 0.0);
+}
+
+TEST_F(BibliographyEstimation, DescendantExpansion) {
+  TwigXSketch sketch = MakeSketch(3);
+  // //author//keyword: the only synopsis path is author/paper/keyword.
+  auto q = query::ParsePath("//author//keyword", doc_.tags());
+  ASSERT_TRUE(q.ok());
+  const double est = Estimator(sketch).Estimate(q.value());
+  EXPECT_NEAR(est, 5.0, 1e-6);
+}
+
+// --- Joint value+count histograms (paper §3.2 extension) -----------------------------
+
+class JointValueHistogram : public ::testing::Test {
+ protected:
+  JointValueHistogram() : doc_(data::MakeMovieIntro()) {}
+
+  // Sketch whose movie histogram covers the actor and producer counts.
+  TwigXSketch MakeSketch() {
+    CoarsestOptions opts;
+    opts.initial_buckets = 16;
+    opts.max_initial_dims = 0;
+    TwigXSketch sketch = TwigXSketch::Coarsest(doc_, opts);
+    const Synopsis& syn = sketch.synopsis();
+    SynNodeId movie = NodeByTag(syn, doc_, "movie");
+    SynNodeId actor = NodeByTag(syn, doc_, "actor");
+    SynNodeId producer = NodeByTag(syn, doc_, "producer");
+    EXPECT_TRUE(sketch.ExpandScope(movie, CountRef{true, movie, actor}));
+    EXPECT_TRUE(
+        sketch.ExpandScope(movie, CountRef{true, movie, producer}));
+    return sketch;
+  }
+
+  xml::Document doc_;
+};
+
+TEST_F(JointValueHistogram, IndependenceUnderestimatesCorrelatedGenre) {
+  // //movie[type=0]/actor: truth 30 (action movies have the big casts).
+  // Value independence gives 5 * 0.6 * 6.6 = 19.8.
+  TwigXSketch sketch = MakeSketch();
+  EXPECT_NEAR(EstimatePath(sketch, "//movie[type=0]/actor"), 19.8, 0.2);
+}
+
+TEST_F(JointValueHistogram, ValueExpandMakesGenreQueriesExact) {
+  TwigXSketch sketch = MakeSketch();
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId movie = NodeByTag(syn, doc_, "movie");
+  SynNodeId actor = NodeByTag(syn, doc_, "actor");
+  SynNodeId type = NodeByTag(syn, doc_, "type");
+  ASSERT_TRUE(sketch.ExpandValueScope(type, CountRef{false, movie, actor}));
+  EXPECT_TRUE(sketch.HasBackwardDims());  // context-dependent estimation
+
+  // P(type = 0 | actor count) is now read off H^v: exact 30 and 3.
+  EXPECT_NEAR(EstimatePath(sketch, "//movie[type=0]/actor"), 30.0, 1e-6);
+  EXPECT_NEAR(EstimatePath(sketch, "//movie[type=1]/actor"), 3.0, 1e-6);
+  // The paper's intro twig: actors x producers of action movies
+  // (10*3 + 8*2 + 12*4 = 94), exact thanks to the joint histograms.
+  EXPECT_NEAR(
+      EstimateFor(sketch,
+                  "for t0 in //movie[type=0], t1 in t0/actor, "
+                  "t2 in t0/producer"),
+      94.0, 1e-6);
+}
+
+TEST_F(JointValueHistogram, MarginalQueriesUnaffected) {
+  TwigXSketch sketch = MakeSketch();
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId movie = NodeByTag(syn, doc_, "movie");
+  SynNodeId actor = NodeByTag(syn, doc_, "actor");
+  SynNodeId type = NodeByTag(syn, doc_, "type");
+  ASSERT_TRUE(sketch.ExpandValueScope(type, CountRef{false, movie, actor}));
+  // Queries that do not condition still use the 1-D marginal: exact here.
+  EXPECT_NEAR(EstimatePath(sketch, "//type[.=0]"), 3.0, 1e-6);
+  EXPECT_NEAR(EstimatePath(sketch, "//movie/actor"), 33.0, 1e-6);
+}
+
+TEST_F(JointValueHistogram, ExpandRules) {
+  TwigXSketch sketch = MakeSketch();
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId movie = NodeByTag(syn, doc_, "movie");
+  SynNodeId actor = NodeByTag(syn, doc_, "actor");
+  SynNodeId type = NodeByTag(syn, doc_, "type");
+  SynNodeId name = NodeByTag(syn, doc_, "name");
+  // movie (no values) cannot gain a joint value histogram.
+  EXPECT_FALSE(
+      sketch.ExpandValueScope(movie, CountRef{false, movie, actor}));
+  // Duplicate dimension refused.
+  ASSERT_TRUE(sketch.ExpandValueScope(type, CountRef{false, movie, actor}));
+  EXPECT_FALSE(
+      sketch.ExpandValueScope(type, CountRef{false, movie, actor}));
+  // Nonexistent edge refused (name is not a child of movie).
+  EXPECT_FALSE(sketch.ExpandValueScope(type, CountRef{false, movie, name}));
+  EXPECT_GT(sketch.SizeBytes(), MakeSketch().SizeBytes());
+}
+
+// --- Behaviour on larger data ----------------------------------------------------------
+
+TEST(EstimatorLargeTest, PathEstimatesMatchTruthOnStableXMark) {
+  xml::Document doc = data::GenerateXMark({.seed = 4, .scale = 0.05});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  query::ExactEvaluator eval(doc);
+  for (const char* path :
+       {"//person", "//open_auction", "//item", "//person/name",
+        "//open_auction/bidder", "//bidder/increase"}) {
+    auto q = query::ParsePath(path, doc.tags());
+    ASSERT_TRUE(q.ok());
+    const double truth = static_cast<double>(eval.Selectivity(q.value()));
+    const double est = Estimator(sketch).Estimate(q.value());
+    ASSERT_GT(truth, 0.0) << path;
+    EXPECT_LT(std::abs(est - truth) / truth, 0.05) << path;
+  }
+}
+
+TEST(EstimatorLargeTest, NegativeQueriesEstimateNearZero) {
+  xml::Document doc = data::GenerateXMark({.seed = 4, .scale = 0.05});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  query::WorkloadOptions opts;
+  opts.seed = 21;
+  opts.num_queries = 25;
+  query::Workload neg = query::GenerateNegativeWorkload(doc, opts);
+  Estimator est(sketch);
+  // The paper reports "close to zero" estimates for negative workloads;
+  // structural misses are exactly zero, value-miss estimates are small.
+  double total = 0;
+  for (const auto& q : neg.queries) total += est.Estimate(q.twig);
+  EXPECT_LT(total / neg.queries.size(), 1.0);
+}
+
+TEST(EstimatorLargeTest, DeterministicEstimates) {
+  xml::Document doc = data::GenerateXMark({.seed = 4, .scale = 0.03});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  auto q = query::ParsePath("//person[profile/age>=30]/name", doc.tags());
+  ASSERT_TRUE(q.ok());
+  Estimator est(sketch);
+  const double a = est.Estimate(q.value());
+  const double b = est.Estimate(q.value());
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+}
+
+// Property sweep: estimates are finite and non-negative over a random
+// positive workload at several coarsest configurations.
+class EstimatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorPropertyTest, FiniteNonNegativeEstimates) {
+  const int buckets = GetParam();
+  xml::Document doc = data::GenerateXMark({.seed = 6, .scale = 0.03});
+  CoarsestOptions opts;
+  opts.initial_buckets = buckets;
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc, opts);
+  query::WorkloadOptions wopts;
+  wopts.seed = 31;
+  wopts.num_queries = 30;
+  wopts.value_pred_fraction = 0.5;
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  Estimator est(sketch);
+  for (const auto& q : w.queries) {
+    const double e = est.Estimate(q.twig);
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_GE(e, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, EstimatorPropertyTest,
+                         ::testing::Values(1, 2, 8, 32));
+
+}  // namespace
+}  // namespace xsketch::core
+
+namespace xsketch::core {
+namespace {
+
+// --- EstimateWithStats diagnostics ----------------------------------------------------
+
+TEST(EstimateStatsTest, CountsAssumptionUsage) {
+  xml::Document doc = data::MakeBibliography();
+  CoarsestOptions opts;
+  opts.initial_buckets = 16;
+  opts.max_initial_dims = 2;
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc, opts);
+  Estimator est(sketch);
+
+  // //author/book: book is not covered at author -> one uniformity term.
+  auto q1 = query::ParsePath("//author/book", doc.tags());
+  ASSERT_TRUE(q1.ok());
+  EstimateStats s1 = est.EstimateWithStats(q1.value());
+  EXPECT_EQ(s1.estimate, est.Estimate(q1.value()));
+  EXPECT_GE(s1.uniformity_terms, 1);
+  EXPECT_EQ(s1.value_fractions, 0);
+  EXPECT_EQ(s1.existential_terms, 0);
+
+  // //author/paper: covered by the initial F-stable histogram.
+  auto q2 = query::ParsePath("//author/paper", doc.tags());
+  ASSERT_TRUE(q2.ok());
+  EstimateStats s2 = est.EstimateWithStats(q2.value());
+  EXPECT_GE(s2.covered_terms, 1);
+
+  // Branching + value predicate + '//' expansion all leave traces.
+  auto q3 = query::ParsePath("//author[book]//keyword", doc.tags());
+  ASSERT_TRUE(q3.ok());
+  EstimateStats s3 = est.EstimateWithStats(q3.value());
+  EXPECT_GE(s3.existential_terms, 1);
+  EXPECT_GE(s3.descendant_chains, 1);
+
+  auto q4 = query::ParsePath("//paper[year>2000]", doc.tags());
+  ASSERT_TRUE(q4.ok());
+  EstimateStats s4 = est.EstimateWithStats(q4.value());
+  EXPECT_GE(s4.value_fractions, 1);
+}
+
+TEST(EstimateStatsTest, ConditionedNodesWithBackwardDims) {
+  xml::Document doc = data::MakeBibliography();
+  CoarsestOptions opts;
+  opts.initial_buckets = 16;
+  opts.max_initial_dims = 2;
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc, opts);
+  const Synopsis& syn = sketch.synopsis();
+  SynNodeId a = syn.NodesWithTag(doc.LookupTag("author"))[0];
+  SynNodeId p = syn.NodesWithTag(doc.LookupTag("paper"))[0];
+  ASSERT_TRUE(sketch.ExpandScope(p, CountRef{false, a, p}));
+  Estimator est(sketch);
+  auto q = query::ParseForClause(
+      "for t0 in //author, t1 in t0/name, t2 in t0/paper, t3 in t2/keyword",
+      doc.tags());
+  ASSERT_TRUE(q.ok());
+  EstimateStats stats = est.EstimateWithStats(q.value());
+  EXPECT_GE(stats.conditioned_nodes, 1);
+}
+
+}  // namespace
+}  // namespace xsketch::core
+
+namespace xsketch::core {
+namespace {
+
+// --- Estimator option caps --------------------------------------------------------------
+
+TEST(EstimatorOptionsTest, PathLengthCapLimitsDescendantExpansion) {
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  auto q = query::ParsePath("//bib//keyword", doc.tags());
+  ASSERT_TRUE(q.ok());
+  // keyword sits 3 levels below bib (author/paper/keyword).
+  EstimatorOptions deep;
+  deep.max_path_length = 8;
+  EXPECT_NEAR(Estimator(sketch, deep).Estimate(q.value()), 5.0, 1e-6);
+  EstimatorOptions shallow;
+  shallow.max_path_length = 2;  // too short to reach keyword
+  EXPECT_EQ(Estimator(sketch, shallow).Estimate(q.value()), 0.0);
+}
+
+TEST(EstimatorOptionsTest, DescendantPathCapIsDeterministicUnderestimate) {
+  xml::Document doc = data::GenerateXMark({.seed = 40, .scale = 0.02});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  auto q = query::ParsePath("//site//text", doc.tags());
+  ASSERT_TRUE(q.ok());
+  EstimatorOptions full;
+  full.max_descendant_paths = 4096;
+  EstimatorOptions capped;
+  capped.max_descendant_paths = 3;
+  const double full_est = Estimator(sketch, full).Estimate(q.value());
+  const double capped_est = Estimator(sketch, capped).Estimate(q.value());
+  EXPECT_LE(capped_est, full_est + 1e-9);
+  EXPECT_EQ(capped_est, Estimator(sketch, capped).Estimate(q.value()));
+}
+
+}  // namespace
+}  // namespace xsketch::core

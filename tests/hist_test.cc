@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hist/edge_histogram.h"
+#include "hist/value_histogram.h"
+#include "util/random.h"
+
+namespace xsketch::hist {
+namespace {
+
+// --- ValueHistogram --------------------------------------------------------------
+
+TEST(ValueHistogramTest, EmptyInput) {
+  ValueHistogram h = ValueHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.EstimateFraction(0, 100), 0.0);
+}
+
+TEST(ValueHistogramTest, ExactOnFewDistinctValues) {
+  ValueHistogram h = ValueHistogram::Build({1, 1, 2, 3, 3, 3}, 8);
+  EXPECT_NEAR(h.EstimateFraction(1, 1), 2.0 / 6, 1e-9);
+  EXPECT_NEAR(h.EstimateFraction(3, 3), 3.0 / 6, 1e-9);
+  EXPECT_NEAR(h.EstimateFraction(1, 3), 1.0, 1e-9);
+  EXPECT_NEAR(h.EstimateFraction(4, 9), 0.0, 1e-9);
+}
+
+TEST(ValueHistogramTest, EquiDepthBucketsBalanceCounts) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  ValueHistogram h = ValueHistogram::Build(values, 10);
+  EXPECT_LE(h.bucket_count(), 10);
+  for (const auto& b : h.buckets()) {
+    EXPECT_NEAR(static_cast<double>(b.count), 100.0, 1.0);
+  }
+}
+
+TEST(ValueHistogramTest, RangeFractionApproximatesUniform) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 1000);
+  ValueHistogram h = ValueHistogram::Build(values, 16);
+  // 10% range.
+  EXPECT_NEAR(h.EstimateFraction(100, 199), 0.1, 0.02);
+  EXPECT_NEAR(h.EstimateFraction(0, 999), 1.0, 1e-9);
+}
+
+TEST(ValueHistogramTest, SkewedDataEqualRunsNotSplit) {
+  // 90% of values are 7; the run must stay in one bucket.
+  std::vector<int64_t> values(900, 7);
+  for (int i = 0; i < 100; ++i) values.push_back(1000 + i);
+  ValueHistogram h = ValueHistogram::Build(values, 4);
+  EXPECT_NEAR(h.EstimateFraction(7, 7), 0.9, 1e-9);
+}
+
+TEST(ValueHistogramTest, NegativeValues) {
+  ValueHistogram h = ValueHistogram::Build({-10, -5, 0, 5, 10}, 5);
+  EXPECT_NEAR(h.EstimateFraction(-10, -5), 0.4, 1e-9);
+  EXPECT_NEAR(h.EstimateFraction(-100, 100), 1.0, 1e-9);
+}
+
+TEST(ValueHistogramTest, SizeScalesWithBuckets) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  ValueHistogram h4 = ValueHistogram::Build(values, 4);
+  ValueHistogram h16 = ValueHistogram::Build(values, 16);
+  EXPECT_LT(h4.SizeBytes(), h16.SizeBytes());
+}
+
+// --- JointDistribution -------------------------------------------------------------
+
+TEST(JointDistributionTest, AccumulatesWeights) {
+  JointDistribution d(2);
+  d.Add({1, 2});
+  d.Add({1, 2});
+  d.Add({3, 4}, 5);
+  EXPECT_EQ(d.total_weight(), 7u);
+  EXPECT_EQ(d.distinct_points(), 2u);
+  uint64_t w12 = 0;
+  d.ForEach([&](const std::vector<uint32_t>& p, uint64_t w) {
+    if (p == std::vector<uint32_t>{1, 2}) w12 = w;
+  });
+  EXPECT_EQ(w12, 2u);
+}
+
+// --- EdgeHistogram -----------------------------------------------------------------
+
+TEST(EdgeHistogramTest, ExactWhenBudgetSuffices) {
+  JointDistribution d(2);
+  d.Add({10, 100}, 1);
+  d.Add({100, 10}, 1);
+  EdgeHistogram h = EdgeHistogram::Build(d, 4);
+  EXPECT_EQ(h.bucket_count(), 2);
+  // Expected product: 0.5*1000 + 0.5*1000 = 1000 (the Fig-4A computation).
+  EXPECT_NEAR(h.ExpectedProduct({0, 1}), 1000.0, 1e-9);
+  EXPECT_NEAR(h.MarginalMean(0), 55.0, 1e-9);
+  EXPECT_NEAR(h.MarginalMean(1), 55.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, Figure4BDistinguishedFromA) {
+  JointDistribution d(2);
+  d.Add({100, 100}, 1);
+  d.Add({10, 10}, 1);
+  EdgeHistogram h = EdgeHistogram::Build(d, 4);
+  // 0.5*10000 + 0.5*100 = 5050 (Fig-4B: 2 * 5050 = 10100 tuples).
+  EXPECT_NEAR(h.ExpectedProduct({0, 1}), 5050.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, SingleBucketCollapsesToMeans) {
+  JointDistribution d(2);
+  d.Add({10, 100}, 1);
+  d.Add({100, 10}, 1);
+  EdgeHistogram h = EdgeHistogram::Build(d, 1);
+  ASSERT_EQ(h.bucket_count(), 1);
+  // Means preserved exactly; the product degrades to mean*mean.
+  EXPECT_NEAR(h.MarginalMean(0), 55.0, 1e-9);
+  EXPECT_NEAR(h.ExpectedProduct({0, 1}), 55.0 * 55.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, MarginalMeansPreservedUnderMerging) {
+  util::Rng rng(4);
+  JointDistribution d(3);
+  double exact_mean[3] = {0, 0, 0};
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    std::vector<uint32_t> p = {
+        static_cast<uint32_t>(rng.Uniform(50)),
+        static_cast<uint32_t>(rng.Uniform(10)),
+        static_cast<uint32_t>(rng.Uniform(5)),
+    };
+    for (int k = 0; k < 3; ++k) exact_mean[k] += p[k];
+    d.Add(p);
+  }
+  for (double& m : exact_mean) m /= n;
+  for (int buckets : {1, 4, 16, 64}) {
+    EdgeHistogram h = EdgeHistogram::Build(d, buckets);
+    EXPECT_LE(h.bucket_count(), buckets);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_NEAR(h.MarginalMean(k), exact_mean[k], 1e-6)
+          << "buckets=" << buckets << " dim=" << k;
+    }
+    double total = 0;
+    for (const auto& b : h.buckets()) total += b.fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(EdgeHistogramTest, MoreBucketsImproveProductAccuracy) {
+  // Anti-correlated dims: independence within one big bucket is maximally
+  // wrong; accuracy must improve monotonically-ish with buckets.
+  JointDistribution d(2);
+  for (uint32_t i = 0; i < 64; ++i) d.Add({i, 64 - i});
+  double exact = 0;
+  for (uint32_t i = 0; i < 64; ++i) exact += i * (64.0 - i);
+  exact /= 64;
+
+  EdgeHistogram h1 = EdgeHistogram::Build(d, 1);
+  EdgeHistogram h8 = EdgeHistogram::Build(d, 8);
+  EdgeHistogram h64 = EdgeHistogram::Build(d, 64);
+  const double e1 = std::abs(h1.ExpectedProduct({0, 1}) - exact);
+  const double e8 = std::abs(h8.ExpectedProduct({0, 1}) - exact);
+  const double e64 = std::abs(h64.ExpectedProduct({0, 1}) - exact);
+  EXPECT_LT(e8, e1);
+  EXPECT_LE(e64, 1e-9);  // exact representation
+}
+
+TEST(EdgeHistogramTest, ConditionOnCoveredValue) {
+  JointDistribution d(2);  // dims: (k, p)
+  d.Add({2, 2}, 1);   // p4: k=2 with p=2
+  d.Add({1, 2}, 1);   // p5
+  d.Add({1, 1}, 2);   // p8, p9
+  EdgeHistogram h = EdgeHistogram::Build(d, 8);
+  // Condition on p=2: expect k distribution {2: 0.5, 1: 0.5}.
+  auto pts = h.Condition({{1, 2.0}});
+  double ek = 0;
+  for (const auto& wp : pts) ek += wp.prob * wp.values[0];
+  EXPECT_NEAR(ek, 1.5, 1e-9);
+  // Condition on p=1: k = 1 deterministically.
+  pts = h.Condition({{1, 1.0}});
+  ek = 0;
+  for (const auto& wp : pts) ek += wp.prob * wp.values[0];
+  EXPECT_NEAR(ek, 1.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, ConditionWithNoGivenReturnsAllBuckets) {
+  JointDistribution d(1);
+  d.Add({1}, 3);
+  d.Add({5}, 1);
+  EdgeHistogram h = EdgeHistogram::Build(d, 4);
+  auto pts = h.Condition({});
+  double total = 0;
+  for (const auto& wp : pts) total += wp.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(EdgeHistogramTest, ConditionFallsBackOnUncoveredValue) {
+  JointDistribution d(2);
+  d.Add({3, 10}, 1);
+  d.Add({7, 20}, 1);
+  EdgeHistogram h = EdgeHistogram::Build(d, 4);
+  // Conditioning value 15 lies in a gap between boxes: the soft fallback
+  // must still return a normalized distribution.
+  auto pts = h.Condition({{1, 15.0}});
+  ASSERT_FALSE(pts.empty());
+  double total = 0;
+  for (const auto& wp : pts) total += wp.prob;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EdgeHistogramTest, EmptyDistribution) {
+  JointDistribution d(2);
+  EdgeHistogram h = EdgeHistogram::Build(d, 4);
+  EXPECT_TRUE(h.empty());
+  EXPECT_TRUE(h.Condition({}).empty());
+  EXPECT_EQ(h.ExpectedProduct({0, 1}), 0.0);
+}
+
+TEST(EdgeHistogramTest, SizeBytesScalesWithDimsAndBuckets) {
+  JointDistribution d2(2);
+  for (uint32_t i = 0; i < 32; ++i) d2.Add({i, i});
+  EdgeHistogram small = EdgeHistogram::Build(d2, 4);
+  EdgeHistogram large = EdgeHistogram::Build(d2, 32);
+  EXPECT_LT(small.SizeBytes(), large.SizeBytes());
+}
+
+// Property sweep: bucketization never loses or invents probability mass and
+// keeps means exact for a range of shapes.
+class EdgeHistogramPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EdgeHistogramPropertyTest, MassAndMeansInvariant) {
+  const auto [dims, points, buckets] = GetParam();
+  util::Rng rng(dims * 1000 + points + buckets);
+  JointDistribution d(dims);
+  std::vector<double> mean(dims, 0.0);
+  uint64_t total = 0;
+  for (int i = 0; i < points; ++i) {
+    std::vector<uint32_t> p(dims);
+    for (int k = 0; k < dims; ++k) {
+      p[k] = static_cast<uint32_t>(rng.Uniform(1 << (3 + k)));
+    }
+    const uint64_t w = 1 + rng.Uniform(9);
+    for (int k = 0; k < dims; ++k) mean[k] += static_cast<double>(p[k]) * w;
+    total += w;
+    d.Add(p, w);
+  }
+  for (double& m : mean) m /= static_cast<double>(total);
+
+  EdgeHistogram h = EdgeHistogram::Build(d, buckets);
+  EXPECT_LE(h.bucket_count(), buckets);
+  double mass = 0;
+  for (const auto& b : h.buckets()) {
+    mass += b.fraction;
+    for (int k = 0; k < dims; ++k) {
+      EXPECT_GE(b.mean[k], static_cast<double>(b.lo[k]) - 1e-9);
+      EXPECT_LE(b.mean[k], static_cast<double>(b.hi[k]) + 1e-9);
+    }
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+  for (int k = 0; k < dims; ++k) {
+    EXPECT_NEAR(h.MarginalMean(k), mean[k], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgeHistogramPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(10, 200),
+                       ::testing::Values(1, 8, 64)));
+
+}  // namespace
+}  // namespace xsketch::hist

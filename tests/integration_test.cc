@@ -1,0 +1,214 @@
+// Cross-module integration tests: end-to-end pipelines over the synthetic
+// data sets, checking the qualitative shapes the paper reports (§6.2) at a
+// reduced scale so the suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsketch {
+namespace {
+
+using core::TwigXSketch;
+using core::XBuild;
+
+TEST(IntegrationTest, ParseBuildEstimatePipeline) {
+  // Full pipeline from XML text: parse -> synopsis -> estimate vs truth.
+  xml::Document generated = data::GenerateSwissProt({.seed = 1, .scale = 0.02});
+  std::string text = xml::WriteDocument(generated);
+  auto parsed = xml::ParseDocument(text);
+  ASSERT_TRUE(parsed.ok());
+  const xml::Document& doc = parsed.value();
+
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  core::Estimator est(sketch);
+  query::ExactEvaluator eval(doc);
+  auto q = query::ParseForClause(
+      "for t0 in //entry, t1 in t0/reference, t2 in t1/author", doc.tags());
+  ASSERT_TRUE(q.ok());
+  const double truth = static_cast<double>(eval.Selectivity(q.value()));
+  const double estimate = est.Estimate(q.value());
+  ASSERT_GT(truth, 0.0);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.25);
+}
+
+TEST(IntegrationTest, SkewedDataCoarseErrorExceedsRegularData) {
+  // Paper §6.2: IMDB's coarsest-summary error is far higher than XMark's,
+  // because XMark is uniform and IMDB is correlated.
+  xml::Document xmark = data::GenerateXMark({.seed = 20, .scale = 0.05});
+  xml::Document imdb = data::GenerateImdb({.seed = 20, .scale = 0.05});
+
+  query::WorkloadOptions wopts;
+  wopts.seed = 100;
+  wopts.num_queries = 80;
+  query::Workload wx = query::GeneratePositiveWorkload(xmark, wopts);
+  query::Workload wi = query::GeneratePositiveWorkload(imdb, wopts);
+
+  const double err_xmark =
+      XBuild::WorkloadError(TwigXSketch::Coarsest(xmark), wx);
+  const double err_imdb =
+      XBuild::WorkloadError(TwigXSketch::Coarsest(imdb), wi);
+  EXPECT_GT(err_imdb, err_xmark);
+}
+
+TEST(IntegrationTest, BudgetSweepReducesImdbError) {
+  // Fig 9(a) shape: error decreases (weakly) as the budget grows.
+  xml::Document imdb = data::GenerateImdb({.seed = 21, .scale = 0.05});
+  query::WorkloadOptions wopts;
+  wopts.seed = 101;
+  wopts.num_queries = 60;
+  query::Workload w = query::GeneratePositiveWorkload(imdb, wopts);
+
+  core::BuildOptions bopts;
+  bopts.seed = 17;
+  bopts.candidates_per_iteration = 6;
+  bopts.sample_queries = 14;
+  const size_t coarse = TwigXSketch::Coarsest(imdb, bopts.coarsest).SizeBytes();
+  bopts.budget_bytes = coarse + 8 * 1024;
+
+  double coarse_err =
+      XBuild::WorkloadError(TwigXSketch::Coarsest(imdb, bopts.coarsest), w);
+  TwigXSketch refined = XBuild(imdb, bopts).Build();
+  double refined_err = XBuild::WorkloadError(refined, w);
+  EXPECT_LT(refined_err, coarse_err * 1.05);
+}
+
+TEST(IntegrationTest, XSketchBeatsCstOnCorrelatedData) {
+  // Fig 9(c) shape: on the skewed IMDB data, XSKETCH error is lower than
+  // CST error at a comparable budget.
+  xml::Document imdb = data::GenerateImdb({.seed = 22, .scale = 0.05});
+  query::WorkloadOptions wopts;
+  wopts.seed = 102;
+  wopts.num_queries = 60;
+  wopts.existential_prob = 0.0;  // simple-path twigs
+  query::Workload w = query::GeneratePositiveWorkload(imdb, wopts);
+
+  core::BuildOptions bopts;
+  bopts.seed = 19;
+  bopts.candidates_per_iteration = 6;
+  bopts.sample_queries = 14;
+  const size_t coarse = TwigXSketch::Coarsest(imdb, bopts.coarsest).SizeBytes();
+  const size_t budget = coarse + 10 * 1024;
+  bopts.budget_bytes = budget;
+  TwigXSketch sketch = XBuild(imdb, bopts).Build();
+
+  cst::CstOptions copts;
+  copts.budget_bytes = budget;
+  cst::CorrelatedSuffixTree cst = cst::CorrelatedSuffixTree::Build(imdb, copts);
+
+  const double s = w.SanityBound();
+  std::vector<double> xs, cs;
+  core::Estimator est(sketch);
+  for (const auto& q : w.queries) {
+    xs.push_back(est.Estimate(q.twig));
+    cs.push_back(cst.Estimate(q.twig));
+  }
+  const double err_x = query::AvgRelativeError(w, xs, s);
+  const double err_c = query::AvgRelativeError(w, cs, s);
+  EXPECT_LT(err_x, err_c);
+}
+
+TEST(IntegrationTest, NegativeWorkloadNearZeroEstimates) {
+  // §6.1: "our synopses consistently give close to zero estimates" for
+  // negative workloads.
+  xml::Document doc = data::GenerateXMark({.seed = 23, .scale = 0.05});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  query::WorkloadOptions wopts;
+  wopts.seed = 103;
+  wopts.num_queries = 40;
+  query::Workload neg = query::GenerateNegativeWorkload(doc, wopts);
+  core::Estimator est(sketch);
+  int structurally_zero = 0;
+  double max_est = 0.0;
+  for (const auto& q : neg.queries) {
+    const double e = est.Estimate(q.twig);
+    if (e == 0.0) ++structurally_zero;
+    max_est = std::max(max_est, e);
+  }
+  EXPECT_GT(structurally_zero, static_cast<int>(neg.queries.size() / 3));
+  EXPECT_LT(max_est, 200.0);  // small relative to typical positive counts
+}
+
+TEST(IntegrationTest, ValuePredicatesIncreaseErrorOnMatchedQueries) {
+  // Fig 9(b) vs 9(a): value predicates make estimation harder. Comparing
+  // two independently generated workloads is dominated by composition
+  // noise at test scale, so compare matched pairs: the same query bodies
+  // with and without their value predicates.
+  xml::Document imdb = data::GenerateImdb({.seed = 24, .scale = 0.05});
+  TwigXSketch sketch = TwigXSketch::Coarsest(imdb);
+  core::Estimator est(sketch);
+  query::ExactEvaluator eval(imdb);
+
+  query::WorkloadOptions pv;
+  pv.seed = 104;
+  pv.num_queries = 120;
+  pv.value_pred_fraction = 1.0;
+  query::Workload w = query::GeneratePositiveWorkload(imdb, pv);
+
+  query::Workload with_pred, without_pred;
+  for (const auto& q : w.queries) {
+    if (q.twig.value_predicate_count() == 0) continue;
+    with_pred.queries.push_back({q.twig, q.true_count});
+    query::TwigQuery stripped = q.twig;
+    for (int i = 0; i < stripped.size(); ++i) {
+      stripped.mutable_node(i).pred.reset();
+    }
+    const uint64_t truth = eval.Selectivity(stripped);
+    without_pred.queries.push_back({std::move(stripped), truth});
+  }
+  ASSERT_GT(with_pred.queries.size(), 40u);
+
+  auto avg_err = [&](const query::Workload& wl) {
+    std::vector<double> estimates;
+    for (const auto& q : wl.queries) estimates.push_back(est.Estimate(q.twig));
+    return query::AvgRelativeError(wl, estimates, wl.SanityBound());
+  };
+  // Predicates compound the structural error with value-estimation error;
+  // a small tolerance absorbs cases where a predicate happens to mask a
+  // structural miss.
+  EXPECT_GT(avg_err(with_pred), avg_err(without_pred) * 0.9);
+}
+
+TEST(IntegrationTest, EstimatorHandlesRecursiveSchema) {
+  // XMark's parlist/listitem recursion creates cycles in the label-split
+  // synopsis; '//' expansion must terminate and produce sane estimates.
+  xml::Document doc = data::GenerateXMark({.seed = 25, .scale = 0.05});
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  core::Estimator est(sketch);
+  query::ExactEvaluator eval(doc);
+  auto q = query::ParsePath("//item//text", doc.tags());
+  ASSERT_TRUE(q.ok());
+  const double truth = static_cast<double>(eval.Selectivity(q.value()));
+  const double estimate = est.Estimate(q.value());
+  ASSERT_GT(truth, 0.0);
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_LT(std::abs(estimate - truth) / truth, 0.8);
+}
+
+TEST(IntegrationTest, Table2StatisticsComputable) {
+  xml::Document doc = data::GenerateImdb({.seed = 26, .scale = 0.05});
+  query::WorkloadOptions wopts;
+  wopts.seed = 105;
+  wopts.num_queries = 50;
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  EXPECT_GT(w.AvgResult(), 0.0);
+  EXPECT_GT(w.AvgFanout(), 1.0);
+  EXPECT_LT(w.AvgFanout(), 4.0);
+  EXPECT_GE(w.SanityBound(), 1.0);
+}
+
+}  // namespace
+}  // namespace xsketch

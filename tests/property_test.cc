@@ -1,0 +1,342 @@
+// Property-based and metamorphic tests: invariants that must hold across
+// random documents, workloads and synopsis configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "cst/cst.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "util/random.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsketch {
+namespace {
+
+enum class DataKind { kXMark, kImdb, kSProt };
+
+xml::Document MakeDoc(DataKind kind, uint64_t seed, double scale) {
+  switch (kind) {
+    case DataKind::kXMark:
+      return data::GenerateXMark({.seed = seed, .scale = scale});
+    case DataKind::kImdb:
+      return data::GenerateImdb({.seed = seed, .scale = scale});
+    case DataKind::kSProt:
+      return data::GenerateSwissProt({.seed = seed, .scale = scale});
+  }
+  __builtin_unreachable();
+}
+
+// --- Round-trip across all generators -------------------------------------------------
+
+class RoundTripProperty : public ::testing::TestWithParam<DataKind> {};
+
+TEST_P(RoundTripProperty, WriteParseIdentity) {
+  xml::Document doc = MakeDoc(GetParam(), 77, 0.02);
+  auto reparsed = xml::ParseDocument(xml::WriteDocument(doc));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const xml::Document& b = reparsed.value();
+  ASSERT_EQ(doc.size(), b.size());
+
+  // Node ids reflect *creation* order, which generators do not promise to
+  // be document order; compare the trees by parallel traversal instead
+  // (the writer and parser both preserve sibling order).
+  std::vector<std::pair<xml::NodeId, xml::NodeId>> stack{
+      {doc.root(), b.root()}};
+  size_t visited = 0;
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    ++visited;
+    ASSERT_EQ(doc.tag_name(x), b.tag_name(y));
+    ASSERT_EQ(doc.numeric_value(x), b.numeric_value(y));
+    std::vector<xml::NodeId> cx = doc.Children(x);
+    std::vector<xml::NodeId> cy = b.Children(y);
+    ASSERT_EQ(cx.size(), cy.size());
+    for (size_t i = 0; i < cx.size(); ++i) stack.push_back({cx[i], cy[i]});
+  }
+  EXPECT_EQ(visited, doc.size());
+}
+
+TEST_P(RoundTripProperty, MutatedInputNeverCrashesParser) {
+  xml::Document doc = MakeDoc(GetParam(), 78, 0.005);
+  std::string text = xml::WriteDocument(doc);
+  util::Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          mutated.erase(pos, rng.Uniform(8) + 1);
+          break;
+        default:
+          mutated.insert(pos, "<");
+          break;
+      }
+    }
+    // Must terminate and either fail cleanly or produce a sealed document.
+    auto result = xml::ParseDocument(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().sealed());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, RoundTripProperty,
+                         ::testing::Values(DataKind::kXMark, DataKind::kImdb,
+                                           DataKind::kSProt));
+
+// --- Estimator metamorphic invariants --------------------------------------------------
+
+class EstimatorInvariants : public ::testing::TestWithParam<DataKind> {
+ protected:
+  void SetUp() override {
+    doc_ = MakeDoc(GetParam(), 91, 0.03);
+    sketch_ = std::make_unique<core::TwigXSketch>(
+        core::TwigXSketch::Coarsest(doc_));
+    estimator_ = std::make_unique<core::Estimator>(*sketch_);
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<core::TwigXSketch> sketch_;
+  std::unique_ptr<core::Estimator> estimator_;
+};
+
+TEST_P(EstimatorInvariants, WideningValuePredicateNeverDecreasesEstimate) {
+  query::WorkloadOptions wopts;
+  wopts.seed = 92;
+  wopts.num_queries = 25;
+  wopts.value_pred_fraction = 1.0;
+  query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
+  for (const auto& q : w.queries) {
+    const double base = estimator_->Estimate(q.twig);
+    query::TwigQuery widened = q.twig;
+    for (int i = 0; i < widened.size(); ++i) {
+      auto& pred = widened.mutable_node(i).pred;
+      if (pred.has_value()) {
+        const int64_t span = pred->hi - pred->lo;
+        pred->lo -= span;
+        pred->hi += span;
+      }
+    }
+    EXPECT_GE(estimator_->Estimate(widened), base - 1e-9);
+  }
+}
+
+TEST_P(EstimatorInvariants, RemovingValuePredicatesNeverDecreasesEstimate) {
+  query::WorkloadOptions wopts;
+  wopts.seed = 93;
+  wopts.num_queries = 25;
+  wopts.value_pred_fraction = 1.0;
+  query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
+  for (const auto& q : w.queries) {
+    const double base = estimator_->Estimate(q.twig);
+    query::TwigQuery stripped = q.twig;
+    for (int i = 0; i < stripped.size(); ++i) {
+      stripped.mutable_node(i).pred.reset();
+    }
+    EXPECT_GE(estimator_->Estimate(stripped), base - 1e-9);
+  }
+}
+
+TEST_P(EstimatorInvariants, AddingExistentialBranchNeverIncreasesEstimate) {
+  query::WorkloadOptions wopts;
+  wopts.seed = 94;
+  wopts.num_queries = 25;
+  query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
+  util::Rng rng(95);
+  for (const auto& q : w.queries) {
+    const double base = estimator_->Estimate(q.twig);
+    query::TwigQuery extended = q.twig;
+    const int t = static_cast<int>(rng.Uniform(extended.size()));
+    extended.AddNode(t, query::Axis::kChild,
+                     static_cast<xml::TagId>(rng.Uniform(doc_.tag_count())),
+                     /*existential=*/true);
+    // An extra semi-join can only filter bindings (factor in [0, 1]).
+    EXPECT_LE(estimator_->Estimate(extended), base + 1e-6 + base * 1e-9);
+  }
+}
+
+TEST_P(EstimatorInvariants, ExactEvaluatorSameMonotonicity) {
+  // The same semi-join monotonicity holds for the ground truth.
+  query::ExactEvaluator eval(doc_);
+  query::WorkloadOptions wopts;
+  wopts.seed = 96;
+  wopts.num_queries = 15;
+  query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
+  util::Rng rng(97);
+  for (const auto& q : w.queries) {
+    query::TwigQuery extended = q.twig;
+    const int t = static_cast<int>(rng.Uniform(extended.size()));
+    extended.AddNode(t, query::Axis::kChild,
+                     static_cast<xml::TagId>(rng.Uniform(doc_.tag_count())),
+                     /*existential=*/true);
+    EXPECT_LE(eval.Selectivity(extended), q.true_count);
+  }
+}
+
+TEST_P(EstimatorInvariants, RefinementNeverBreaksSinglePathExactness) {
+  // Per-edge counts make child-axis chains exact on the label-split
+  // synopsis; structural refinements must preserve that.
+  core::BuildOptions opts;
+  opts.seed = 98;
+  opts.candidates_per_iteration = 4;
+  opts.sample_queries = 8;
+  opts.budget_bytes =
+      core::TwigXSketch::Coarsest(doc_, opts.coarsest).SizeBytes() + 2048;
+  core::TwigXSketch refined = core::XBuild(doc_, opts).Build();
+  core::Estimator est(refined);
+  query::ExactEvaluator eval(doc_);
+
+  // Single-edge chains //parent/child for a sample of synopsis edges.
+  int checked = 0;
+  for (size_t tag = 0; tag < doc_.tag_count() && checked < 12; ++tag) {
+    const auto& elems = doc_.NodesWithTag(static_cast<xml::TagId>(tag));
+    if (elems.empty()) continue;
+    const xml::NodeId parent = doc_.parent(elems[0]);
+    if (parent == xml::kInvalidNode) continue;
+    const std::string expr = "//" + doc_.tag_name(parent) + "/" +
+                             doc_.tags().Get(static_cast<uint32_t>(tag));
+    auto twig = query::ParsePath(expr, doc_.tags());
+    ASSERT_TRUE(twig.ok());
+    const double truth =
+        static_cast<double>(eval.Selectivity(twig.value()));
+    EXPECT_NEAR(est.Estimate(twig.value()), truth,
+                std::max(1.0, truth * 1e-6))
+        << expr;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, EstimatorInvariants,
+                         ::testing::Values(DataKind::kXMark, DataKind::kImdb,
+                                           DataKind::kSProt));
+
+// --- CST invariants ---------------------------------------------------------------------
+
+class CstInvariants : public ::testing::TestWithParam<DataKind> {};
+
+TEST_P(CstInvariants, UnprunedPathEstimatesAreExact) {
+  xml::Document doc = MakeDoc(GetParam(), 101, 0.02);
+  cst::CstOptions opts;
+  opts.budget_bytes = 1 << 24;  // no pruning
+  opts.max_suffix_length = 16;  // deeper than any of the documents
+  cst::CorrelatedSuffixTree cst = cst::CorrelatedSuffixTree::Build(doc, opts);
+  query::ExactEvaluator eval(doc);
+
+  // Random child-axis root-to-descendant chains.
+  util::Rng rng(102);
+  for (int trial = 0; trial < 30; ++trial) {
+    xml::NodeId e = static_cast<xml::NodeId>(rng.Uniform(doc.size()));
+    std::string expr;
+    std::vector<xml::NodeId> chain;
+    for (xml::NodeId cur = e; cur != xml::kInvalidNode;
+         cur = doc.parent(cur)) {
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (xml::NodeId n : chain) expr += "/" + doc.tag_name(n);
+    auto twig = query::ParsePath(expr, doc.tags());
+    ASSERT_TRUE(twig.ok()) << expr;
+    EXPECT_NEAR(cst.Estimate(twig.value()),
+                static_cast<double>(eval.Selectivity(twig.value())), 1e-6)
+        << expr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, CstInvariants,
+                         ::testing::Values(DataKind::kXMark, DataKind::kImdb,
+                                           DataKind::kSProt));
+
+// --- Synopsis split invariants ------------------------------------------------------------
+
+class SplitInvariants : public ::testing::TestWithParam<DataKind> {};
+
+TEST_P(SplitInvariants, RandomSplitsPreservePartitionInvariants) {
+  xml::Document doc = MakeDoc(GetParam(), 111, 0.02);
+  core::Synopsis syn = core::Synopsis::LabelSplit(doc);
+  util::Rng rng(112);
+
+  for (int round = 0; round < 12; ++round) {
+    // Pick a splittable node and a random proper subset.
+    core::SynNodeId target = core::kInvalidSynNode;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const auto n =
+          static_cast<core::SynNodeId>(rng.Uniform(syn.node_count()));
+      if (syn.node(n).count >= 2) {
+        target = n;
+        break;
+      }
+    }
+    if (target == core::kInvalidSynNode) break;
+    const auto& extent = syn.Extent(target);
+    std::vector<xml::NodeId> subset;
+    for (xml::NodeId e : extent) {
+      if (rng.Bernoulli(0.5)) subset.push_back(e);
+    }
+    if (subset.empty() || subset.size() == extent.size()) continue;
+    syn.SplitNode(target, subset);
+
+    // Invariant 1: partition covers the document exactly once.
+    size_t total = 0;
+    for (core::SynNodeId n = 0; n < syn.node_count(); ++n) {
+      total += syn.Extent(n).size();
+      EXPECT_EQ(syn.node(n).count, syn.Extent(n).size());
+      for (xml::NodeId e : syn.Extent(n)) {
+        EXPECT_EQ(syn.NodeOf(e), n);
+        EXPECT_EQ(doc.tag(e), syn.node(n).tag);
+      }
+    }
+    EXPECT_EQ(total, doc.size());
+
+    // Invariant 2: stability flags match their definitions (spot-check a
+    // few edges per round against brute force).
+    int checked = 0;
+    for (core::SynNodeId u = 0;
+         u < syn.node_count() && checked < 8; ++u) {
+      for (const core::SynEdge& edge : syn.node(u).children) {
+        uint64_t child_count = 0;
+        for (xml::NodeId e : syn.Extent(edge.child)) {
+          const xml::NodeId p = doc.parent(e);
+          if (p != xml::kInvalidNode && syn.NodeOf(p) == u) ++child_count;
+        }
+        EXPECT_EQ(edge.child_count, child_count);
+        EXPECT_EQ(edge.backward_stable,
+                  child_count == syn.node(edge.child).count);
+        uint64_t parents = 0;
+        for (xml::NodeId e : syn.Extent(u)) {
+          bool has = false;
+          doc.ForEachChild(e, [&](xml::NodeId c) {
+            if (syn.NodeOf(c) == edge.child) has = true;
+          });
+          if (has) ++parents;
+        }
+        EXPECT_EQ(edge.parent_count, parents);
+        EXPECT_EQ(edge.forward_stable, parents == syn.node(u).count);
+        if (++checked >= 8) break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, SplitInvariants,
+                         ::testing::Values(DataKind::kXMark, DataKind::kImdb,
+                                           DataKind::kSProt));
+
+}  // namespace
+}  // namespace xsketch

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "query/evaluator.h"
+#include "query/twig.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "xml/parser.h"
+
+namespace xsketch::query {
+namespace {
+
+xml::Document Parse(const char* text) {
+  auto r = xml::ParseDocument(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// --- TwigQuery model --------------------------------------------------------------
+
+TEST(TwigTest, BuildAndTraverse) {
+  TwigQuery twig;
+  int root = twig.AddNode(TwigQuery::kNoParent, Axis::kDescendant, 1);
+  int a = twig.AddNode(root, Axis::kChild, 2);
+  int b = twig.AddNode(root, Axis::kChild, 3, /*existential=*/true);
+  twig.AddNode(a, Axis::kChild, 4);
+  EXPECT_EQ(twig.size(), 4);
+  EXPECT_EQ(twig.binding_count(), 3);
+  EXPECT_TRUE(twig.has_branching());
+  EXPECT_TRUE(twig.has_descendant_axis());
+  std::vector<int> order = twig.DepthFirstOrder();
+  EXPECT_EQ(order, (std::vector<int>{root, a, 3, b}));
+}
+
+TEST(TwigTest, ChildrenOfExistentialAreExistential) {
+  TwigQuery twig;
+  int root = twig.AddNode(TwigQuery::kNoParent, Axis::kChild, 0);
+  int e = twig.AddNode(root, Axis::kChild, 1, /*existential=*/true);
+  int below = twig.AddNode(e, Axis::kChild, 2, /*existential=*/false);
+  EXPECT_TRUE(twig.node(below).existential);
+}
+
+TEST(TwigTest, AvgInternalFanout) {
+  TwigQuery twig;
+  int root = twig.AddNode(TwigQuery::kNoParent, Axis::kChild, 0);
+  twig.AddNode(root, Axis::kChild, 1);
+  twig.AddNode(root, Axis::kChild, 2);
+  int c = twig.AddNode(root, Axis::kChild, 3);
+  twig.AddNode(c, Axis::kChild, 4);
+  // Internal nodes: root (3 children), c (1 child) -> 2.0.
+  EXPECT_DOUBLE_EQ(twig.AvgInternalFanout(), 2.0);
+}
+
+TEST(ValuePredicateTest, RangeSemantics) {
+  ValuePredicate p{5, 10};
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_TRUE(p.Matches(10));
+  EXPECT_FALSE(p.Matches(4));
+  EXPECT_FALSE(p.Matches(11));
+}
+
+// --- XPath parser ------------------------------------------------------------------
+
+class XPathParserTest : public ::testing::Test {
+ protected:
+  XPathParserTest() : doc_(data::MakeBibliography()) {}
+  xml::Document doc_;
+};
+
+TEST_F(XPathParserTest, SimpleAbsolutePath) {
+  auto r = ParsePath("/bib/author/name", doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TwigQuery& t = r.value();
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_EQ(t.node(0).axis, Axis::kChild);
+  EXPECT_EQ(t.node(0).tag, doc_.LookupTag("bib"));
+  EXPECT_EQ(t.node(2).tag, doc_.LookupTag("name"));
+  EXPECT_EQ(t.binding_count(), 3);
+}
+
+TEST_F(XPathParserTest, DescendantAxis) {
+  auto r = ParsePath("//paper/keyword", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node(0).axis, Axis::kDescendant);
+  EXPECT_EQ(r.value().node(1).axis, Axis::kChild);
+}
+
+TEST_F(XPathParserTest, BranchingPredicate) {
+  auto r = ParsePath("//author[book]/paper", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  const TwigQuery& t = r.value();
+  ASSERT_EQ(t.size(), 3);
+  // Node 1 is the existential book branch, node 2 the paper output step.
+  EXPECT_TRUE(t.node(1).existential);
+  EXPECT_EQ(t.node(1).tag, doc_.LookupTag("book"));
+  EXPECT_FALSE(t.node(2).existential);
+  EXPECT_EQ(t.binding_count(), 2);
+}
+
+TEST_F(XPathParserTest, ValuePredicateOnBranch) {
+  auto r = ParsePath("//paper[year>2000]/title", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  const TwigQuery& t = r.value();
+  int year = -1;
+  for (int i = 0; i < t.size(); ++i) {
+    if (t.node(i).tag == doc_.LookupTag("year")) year = i;
+  }
+  ASSERT_GE(year, 0);
+  EXPECT_TRUE(t.node(year).existential);
+  ASSERT_TRUE(t.node(year).pred.has_value());
+  EXPECT_EQ(t.node(year).pred->lo, 2001);
+}
+
+TEST_F(XPathParserTest, SelfValuePredicate) {
+  auto r = ParsePath("//year[.>=1999]", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().node(0).pred.has_value());
+  EXPECT_EQ(r.value().node(0).pred->lo, 1999);
+}
+
+TEST_F(XPathParserTest, ComparisonOperators) {
+  struct Case {
+    const char* expr;
+    int64_t lo, hi;
+  } cases[] = {
+      {"//year[.=2000]", 2000, 2000},  {"//year[.>2000]", 2001, INT64_MAX},
+      {"//year[.>=2000]", 2000, INT64_MAX},
+      {"//year[.<2000]", INT64_MIN, 1999},
+      {"//year[.<=2000]", INT64_MIN, 2000},
+  };
+  for (const auto& c : cases) {
+    auto r = ParsePath(c.expr, doc_.tags());
+    ASSERT_TRUE(r.ok()) << c.expr;
+    ASSERT_TRUE(r.value().node(0).pred.has_value()) << c.expr;
+    EXPECT_EQ(r.value().node(0).pred->lo, c.lo) << c.expr;
+    EXPECT_EQ(r.value().node(0).pred->hi, c.hi) << c.expr;
+  }
+}
+
+TEST_F(XPathParserTest, NestedBranchPredicates) {
+  auto r = ParsePath("//author[paper[keyword]/year>2000]/name", doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TwigQuery& t = r.value();
+  EXPECT_EQ(t.binding_count(), 2);  // author, name
+  EXPECT_EQ(t.size(), 5);           // author, paper, keyword, year, name
+}
+
+TEST_F(XPathParserTest, MultiplePredicatesOnOneStep) {
+  auto r = ParsePath("//author[book][paper]/name", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 4);
+  EXPECT_EQ(r.value().binding_count(), 2);
+}
+
+TEST_F(XPathParserTest, UnknownLabelMapsToUnknownTag) {
+  auto r = ParsePath("//nonexistent/name", doc_.tags());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node(0).tag, kUnknownTag);
+}
+
+TEST_F(XPathParserTest, ForClause) {
+  auto r = ParseForClause(
+      "for t0 in //author, t1 in t0/name, t2 in t0/paper/keyword",
+      doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TwigQuery& t = r.value();
+  EXPECT_EQ(t.size(), 4);  // author, name, paper, keyword
+  EXPECT_EQ(t.binding_count(), 4);
+  EXPECT_EQ(t.node(0).tag, doc_.LookupTag("author"));
+  // Both name and paper attach to author.
+  EXPECT_EQ(t.node(0).children.size(), 2u);
+}
+
+TEST_F(XPathParserTest, ForClauseWithoutKeyword) {
+  auto r = ParseForClause("t0 in //paper, t1 in t0/year", doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2);
+}
+
+TEST_F(XPathParserTest, ForClauseUnboundVariableFails) {
+  auto r = ParseForClause("for t0 in //author, t1 in tX/name", doc_.tags());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(XPathParserTest, EmptyAndMalformedInputsFail) {
+  EXPECT_FALSE(ParsePath("", doc_.tags()).ok());
+  EXPECT_FALSE(ParsePath("//", doc_.tags()).ok());
+  EXPECT_FALSE(ParsePath("//a[", doc_.tags()).ok());
+  EXPECT_FALSE(ParsePath("//a[b", doc_.tags()).ok());
+  EXPECT_FALSE(ParsePath("//a[.>]", doc_.tags()).ok());
+  EXPECT_FALSE(ParseForClause("for", doc_.tags()).ok());
+}
+
+// --- Exact evaluator ----------------------------------------------------------------
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : doc_(data::MakeBibliography()), eval_(doc_) {}
+
+  uint64_t Count(const char* path) {
+    auto r = ParsePath(path, doc_.tags());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return eval_.Selectivity(r.value());
+  }
+  uint64_t CountFor(const char* clause) {
+    auto r = ParseForClause(clause, doc_.tags());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return eval_.Selectivity(r.value());
+  }
+
+  xml::Document doc_;
+  ExactEvaluator eval_;
+};
+
+TEST_F(EvaluatorTest, SinglePathCounts) {
+  EXPECT_EQ(Count("/bib"), 1u);
+  EXPECT_EQ(Count("/bib/author"), 3u);
+  EXPECT_EQ(Count("//author"), 3u);
+  EXPECT_EQ(Count("//paper"), 4u);
+  EXPECT_EQ(Count("//paper/keyword"), 5u);
+  EXPECT_EQ(Count("//keyword"), 5u);
+  EXPECT_EQ(Count("//book"), 1u);
+}
+
+TEST_F(EvaluatorTest, AbsolutePathMustStartAtRoot) {
+  EXPECT_EQ(Count("/author"), 0u);  // root element is bib, not author
+}
+
+TEST_F(EvaluatorTest, BranchingPredicateSemantics) {
+  // Only a2 has a book.
+  EXPECT_EQ(Count("//author[book]"), 1u);
+  EXPECT_EQ(Count("//author[book]/paper"), 1u);
+  // All authors have papers.
+  EXPECT_EQ(Count("//author[paper]"), 3u);
+  // Paper with year > 2000: p5 (2002) and p8 (2001).
+  EXPECT_EQ(Count("//paper[year>2000]"), 2u);
+  EXPECT_EQ(Count("//author[paper/year>2000]"), 2u);
+}
+
+TEST_F(EvaluatorTest, ValuePredicateOnSelf) {
+  EXPECT_EQ(Count("//year[.>2000]"), 2u);
+  EXPECT_EQ(Count("//year[.=1999]"), 1u);
+  EXPECT_EQ(Count("//year[.<1900]"), 0u);
+}
+
+TEST_F(EvaluatorTest, TwigMultiplicities) {
+  // Per author: name_count * keyword_count_under_papers summed as tuples:
+  // a1: 1 * (2+1) = 3; a2: 1 * 1 = 1; a3: 1 * 1 = 1 -> 5.
+  EXPECT_EQ(CountFor("for t0 in //author, t1 in t0/name, "
+                     "t2 in t0/paper/keyword"),
+            5u);
+  // Pairs of keywords under the same paper: p4 contributes 2*2, others 1.
+  EXPECT_EQ(CountFor("for t0 in //paper, t1 in t0/keyword, "
+                     "t2 in t0/keyword"),
+            4u + 1 + 1 + 1);
+}
+
+TEST_F(EvaluatorTest, PaperExample21) {
+  // Example 2.1: authors with name, paper[year>2000], title and keyword.
+  // a1 via p5 (title, 1 keyword) and a2 via p8 (title, 1 keyword)... our
+  // bibliography yields 2 tuples (p5 has one keyword).
+  EXPECT_EQ(CountFor("for t0 in //author, t1 in t0/name, "
+                     "t2 in t0/paper[year>2000], t3 in t2/title, "
+                     "t4 in t2/keyword"),
+            2u);
+}
+
+TEST_F(EvaluatorTest, ZeroSelectivityForAbsentStructure) {
+  EXPECT_EQ(Count("//book/keyword"), 0u);
+  EXPECT_EQ(Count("//nonexistent"), 0u);
+  EXPECT_EQ(CountFor("for t0 in //book, t1 in t0/year"), 0u);
+}
+
+TEST_F(EvaluatorTest, DescendantAxisInside) {
+  xml::Document doc = Parse(
+      "<r><a><x><b>1</b></x><b>2</b></a><a><b>3</b></a></r>");
+  ExactEvaluator eval(doc);
+  auto q = ParsePath("//a//b", doc.tags());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(eval.Selectivity(q.value()), 3u);
+}
+
+TEST_F(EvaluatorTest, Figure4Documents) {
+  xml::Document a = data::MakeFigure4A();
+  auto q = ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c", a.tags());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ExactEvaluator(a).Selectivity(q.value()), 2000u);
+}
+
+// --- Workload generation ---------------------------------------------------------------
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : doc_(data::GenerateImdb({.seed = 5, .scale = 0.05})) {}
+  xml::Document doc_;
+};
+
+TEST_F(WorkloadTest, PositiveWorkloadAllPositive) {
+  WorkloadOptions opts;
+  opts.seed = 11;
+  opts.num_queries = 50;
+  Workload w = GeneratePositiveWorkload(doc_, opts);
+  ASSERT_EQ(w.queries.size(), 50u);
+  ExactEvaluator eval(doc_);
+  for (const auto& q : w.queries) {
+    EXPECT_GT(q.true_count, 0u);
+    EXPECT_EQ(eval.Selectivity(q.twig), q.true_count);
+  }
+}
+
+TEST_F(WorkloadTest, NodeBudgetRespected) {
+  WorkloadOptions opts;
+  opts.seed = 12;
+  opts.num_queries = 50;
+  opts.min_nodes = 4;
+  opts.max_nodes = 8;
+  Workload w = GeneratePositiveWorkload(doc_, opts);
+  for (const auto& q : w.queries) {
+    EXPECT_GE(q.twig.size(), 4);
+    EXPECT_LE(q.twig.size(), 8 + 1);  // +1: one-deeper branch extension
+  }
+}
+
+TEST_F(WorkloadTest, ValuePredicateFraction) {
+  WorkloadOptions opts;
+  opts.seed = 13;
+  opts.num_queries = 60;
+  opts.value_pred_fraction = 1.0;
+  Workload w = GeneratePositiveWorkload(doc_, opts);
+  int with_preds = 0;
+  for (const auto& q : w.queries) {
+    if (q.twig.value_predicate_count() > 0) ++with_preds;
+    EXPECT_LE(q.twig.value_predicate_count(), 2);
+    EXPECT_GT(q.true_count, 0u);  // predicates anchored on witnesses
+  }
+  EXPECT_EQ(with_preds, 60);
+}
+
+TEST_F(WorkloadTest, SimplePathWorkloadHasNoBranchingPredicates) {
+  WorkloadOptions opts;
+  opts.seed = 14;
+  opts.num_queries = 40;
+  opts.existential_prob = 0.0;
+  Workload w = GeneratePositiveWorkload(doc_, opts);
+  for (const auto& q : w.queries) {
+    EXPECT_FALSE(q.twig.has_branching());
+  }
+}
+
+TEST_F(WorkloadTest, NegativeWorkloadAllZero) {
+  WorkloadOptions opts;
+  opts.seed = 15;
+  opts.num_queries = 30;
+  Workload w = GenerateNegativeWorkload(doc_, opts);
+  ASSERT_EQ(w.queries.size(), 30u);
+  ExactEvaluator eval(doc_);
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(q.true_count, 0u);
+    EXPECT_EQ(eval.Selectivity(q.twig), 0u);
+  }
+}
+
+TEST_F(WorkloadTest, SanityBoundIsLowPercentile) {
+  WorkloadOptions opts;
+  opts.seed = 16;
+  opts.num_queries = 100;
+  Workload w = GeneratePositiveWorkload(doc_, opts);
+  const double s = w.SanityBound(0.10);
+  int below = 0;
+  for (const auto& q : w.queries) {
+    if (static_cast<double>(q.true_count) < s) ++below;
+  }
+  EXPECT_LE(below, 11);  // at most ~10% lie strictly below the bound
+  EXPECT_GE(s, 1.0);
+}
+
+TEST_F(WorkloadTest, AvgRelativeErrorMetric) {
+  Workload w;
+  WorkloadQuery q1, q2;
+  q1.true_count = 100;
+  q2.true_count = 4;
+  w.queries.push_back(std::move(q1));
+  w.queries.push_back(std::move(q2));
+  // sanity bound 10: q1 err = |90-100|/100 = 0.1; q2 err = |8-4|/10 = 0.4.
+  EXPECT_NEAR(AvgRelativeError(w, {90.0, 8.0}, 10.0), 0.25, 1e-9);
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadOptions opts;
+  opts.seed = 17;
+  opts.num_queries = 20;
+  Workload a = GeneratePositiveWorkload(doc_, opts);
+  Workload b = GeneratePositiveWorkload(doc_, opts);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].true_count, b.queries[i].true_count);
+    EXPECT_EQ(a.queries[i].twig.size(), b.queries[i].twig.size());
+  }
+}
+
+}  // namespace
+}  // namespace xsketch::query
+
+namespace xsketch::query {
+namespace {
+
+// --- Additional parser and generator edge cases ---------------------------------------
+
+TEST(XPathParserEdgeCases, DescendantAxisInsideBranchPredicate) {
+  xml::Document doc = data::MakeBibliography();
+  auto r = ParsePath("//author[//keyword]/name", doc.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TwigQuery& t = r.value();
+  // author, keyword (existential descendant), name.
+  ASSERT_EQ(t.size(), 3);
+  EXPECT_TRUE(t.node(1).existential);
+  EXPECT_EQ(t.node(1).axis, Axis::kDescendant);
+  EXPECT_EQ(ExactEvaluator(doc).Selectivity(t), 3u);  // all authors qualify
+}
+
+TEST(XPathParserEdgeCases, WhitespaceTolerance) {
+  xml::Document doc = data::MakeBibliography();
+  auto r = ParseForClause(
+      "  for   t0   in   //author ,  t1 in t0 / name  ", doc.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2);
+}
+
+TEST(XPathParserEdgeCases, NegativeNumbersInPredicates) {
+  xml::Document doc = data::MakeBibliography();
+  auto r = ParsePath("//year[.>=-5]", doc.tags());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node(0).pred->lo, -5);
+}
+
+TEST(XPathParserEdgeCases, ToStringRoundTripsThroughParser) {
+  xml::Document doc = data::MakeBibliography();
+  auto r = ParseForClause(
+      "for t0 in //author, t1 in t0/name, t2 in t0/paper[year>2000]",
+      doc.tags());
+  ASSERT_TRUE(r.ok());
+  const std::string rendered = r.value().ToString(doc.tags());
+  // The rendering names every node and marks the existential year branch.
+  EXPECT_NE(rendered.find("//author"), std::string::npos);
+  EXPECT_NE(rendered.find("(exists)"), std::string::npos);
+  EXPECT_NE(rendered.find(">=2001"), std::string::npos);
+}
+
+TEST(WorkloadEdgeCases, AbsoluteRootsOnly) {
+  xml::Document doc = data::MakeBibliography();
+  WorkloadOptions opts;
+  opts.seed = 61;
+  opts.num_queries = 20;
+  opts.descendant_root_prob = 0.0;
+  Workload w = GeneratePositiveWorkload(doc, opts);
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(q.twig.node(0).axis, Axis::kChild);
+    EXPECT_EQ(q.twig.node(0).tag, doc.LookupTag("bib"));
+  }
+}
+
+TEST(WorkloadEdgeCases, TinyDocumentStillGenerates) {
+  auto parsed = xml::ParseDocument("<r><a><b/></a><a><b/><c/></a></r>");
+  ASSERT_TRUE(parsed.ok());
+  WorkloadOptions opts;
+  opts.seed = 62;
+  opts.num_queries = 10;
+  opts.min_nodes = 2;
+  opts.max_nodes = 4;
+  Workload w = GeneratePositiveWorkload(parsed.value(), opts);
+  EXPECT_EQ(w.queries.size(), 10u);
+  for (const auto& q : w.queries) EXPECT_GT(q.true_count, 0u);
+}
+
+}  // namespace
+}  // namespace xsketch::query

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "core/serialize.h"
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+
+namespace xsketch::core {
+namespace {
+
+TwigXSketch BuildRefined(const xml::Document& doc, size_t extra_bytes,
+                         bool extensions = false) {
+  BuildOptions opts;
+  opts.seed = 5;
+  opts.candidates_per_iteration = 6;
+  opts.sample_queries = 10;
+  opts.allow_backward_counts = extensions;
+  opts.allow_value_correlation = extensions;
+  opts.budget_bytes =
+      TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + extra_bytes;
+  return XBuild(doc, opts).Build();
+}
+
+TEST(SerializeTest, RoundTripPreservesEstimates) {
+  xml::Document doc = data::GenerateImdb({.seed = 31, .scale = 0.03});
+  TwigXSketch original = BuildRefined(doc, 4096);
+  const std::string bytes = SaveSketch(original);
+
+  auto restored = LoadSketch(bytes, doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().SizeBytes(), original.SizeBytes());
+  EXPECT_EQ(restored.value().synopsis().node_count(),
+            original.synopsis().node_count());
+
+  // Every estimate must be bit-identical: the restored sketch re-derives
+  // the same histograms from the same document.
+  query::WorkloadOptions wopts;
+  wopts.seed = 32;
+  wopts.num_queries = 25;
+  wopts.value_pred_fraction = 0.5;
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  Estimator before(original);
+  Estimator after(restored.value());
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(before.Estimate(q.twig), after.Estimate(q.twig));
+  }
+}
+
+TEST(SerializeTest, RoundTripWithExtensions) {
+  xml::Document doc = data::GenerateImdb({.seed = 33, .scale = 0.03});
+  TwigXSketch original = BuildRefined(doc, 3072, /*extensions=*/true);
+  auto restored = LoadSketch(SaveSketch(original), doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().HasBackwardDims(), original.HasBackwardDims());
+  EXPECT_EQ(restored.value().SizeBytes(), original.SizeBytes());
+}
+
+TEST(SerializeTest, RejectsWrongDocument) {
+  xml::Document doc = data::GenerateImdb({.seed = 31, .scale = 0.03});
+  xml::Document other = data::GenerateImdb({.seed = 99, .scale = 0.03});
+  xml::Document tiny = data::MakeBibliography();
+  const std::string bytes = SaveSketch(TwigXSketch::Coarsest(doc));
+  EXPECT_FALSE(LoadSketch(bytes, tiny).ok());   // different size
+  EXPECT_FALSE(LoadSketch(bytes, other).ok());  // different elements
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  xml::Document doc = data::MakeBibliography();
+  const std::string bytes = SaveSketch(TwigXSketch::Coarsest(doc));
+
+  EXPECT_FALSE(LoadSketch("", doc).ok());
+  EXPECT_FALSE(LoadSketch("garbage", doc).ok());
+  // Truncations at every prefix length must fail cleanly, never crash.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    EXPECT_FALSE(LoadSketch(bytes.substr(0, len), doc).ok()) << len;
+  }
+  // Trailing junk is rejected.
+  EXPECT_FALSE(LoadSketch(bytes + "x", doc).ok());
+  // Flipped magic is rejected.
+  std::string bad = bytes;
+  bad[0] = 'Y';
+  EXPECT_FALSE(LoadSketch(bad, doc).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch original = TwigXSketch::Coarsest(doc);
+  const std::string path = ::testing::TempDir() + "/sketch.xsk";
+  ASSERT_TRUE(SaveSketchToFile(original, path).ok());
+  auto restored = LoadSketchFromFile(path, doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().SizeBytes(), original.SizeBytes());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadSketchFromFile(path, doc).ok());
+}
+
+TEST(SerializeTest, RestoreValidatesScopes) {
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  std::vector<SynNodeId> partition(doc.size());
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    partition[e] = sketch.synopsis().NodeOf(e);
+  }
+  auto configs = sketch.ExportConfigs();
+  // Point a scope at a nonexistent edge.
+  configs[0].scope.push_back(CountRef{true, 0, 0});
+  auto restored = TwigXSketch::Restore(doc, partition, configs);
+  EXPECT_FALSE(restored.ok());
+}
+
+}  // namespace
+}  // namespace xsketch::core

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_interner.h"
+
+namespace xsketch::util {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(77);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.15);
+}
+
+// --- ZipfSampler ---------------------------------------------------------------
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 1.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfTest, CoversFullRange) {
+  Rng rng(3);
+  ZipfSampler zipf(5, 0.5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.Sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  Rng rng(3);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(ZipfTest, SingleItem) {
+  Rng rng(3);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+// --- StringInterner ------------------------------------------------------------
+
+TEST(InternerTest, DenseIdsFromZero) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("x");
+  uint32_t b = interner.Intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, LookupMissReturnsNotFound) {
+  StringInterner interner;
+  interner.Intern("present");
+  EXPECT_EQ(interner.Lookup("absent"), StringInterner::kNotFound);
+  EXPECT_EQ(interner.Lookup("present"), 0u);
+}
+
+TEST(InternerTest, GetRoundTrips) {
+  StringInterner interner;
+  const char* names[] = {"site", "movie", "actor", "@id"};
+  for (const char* n : names) interner.Intern(n);
+  for (const char* n : names) {
+    EXPECT_EQ(interner.Get(interner.Lookup(n)), n);
+  }
+}
+
+TEST(InternerTest, EmptyStringIsValid) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("");
+  EXPECT_EQ(interner.Get(id), "");
+  EXPECT_EQ(interner.Lookup(""), id);
+}
+
+}  // namespace
+}  // namespace xsketch::util

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hist/value_histogram.h"
+#include "hist/wavelet.h"
+#include "util/random.h"
+
+namespace xsketch::hist {
+namespace {
+
+TEST(WaveletTest, EmptyInput) {
+  WaveletSummary w = WaveletSummary::Build({}, 8);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.EstimateFraction(0, 10), 0.0);
+}
+
+TEST(WaveletTest, FullBudgetIsNearExact) {
+  std::vector<int64_t> values = {1, 1, 2, 3, 3, 3, 7, 8};
+  WaveletSummary w = WaveletSummary::Build(values, 64, 8);
+  EXPECT_NEAR(w.EstimateFraction(1, 1), 2.0 / 8, 1e-9);
+  EXPECT_NEAR(w.EstimateFraction(3, 3), 3.0 / 8, 1e-9);
+  EXPECT_NEAR(w.EstimateFraction(1, 8), 1.0, 1e-9);
+  EXPECT_NEAR(w.EstimateFraction(4, 6), 0.0, 1e-9);
+}
+
+TEST(WaveletTest, FractionsAlwaysInUnitInterval) {
+  util::Rng rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.UniformInt(0, 10000));
+  WaveletSummary w = WaveletSummary::Build(values, 12);
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t lo = rng.UniformInt(-100, 10100);
+    int64_t hi = lo + rng.UniformInt(0, 3000);
+    double f = w.EstimateFraction(lo, hi);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(WaveletTest, SingleValueDomain) {
+  std::vector<int64_t> values(50, 42);
+  WaveletSummary w = WaveletSummary::Build(values, 4);
+  EXPECT_NEAR(w.EstimateFraction(42, 42), 1.0, 1e-9);
+  EXPECT_NEAR(w.EstimateFraction(0, 41), 0.0, 1e-9);
+}
+
+TEST(WaveletTest, SpikyDistributionBeatsHistogramAtEqualBudget) {
+  // A few hot values over a wide domain: wavelets store the spikes as a
+  // handful of coefficients; an equi-depth histogram smears them.
+  util::Rng rng(9);
+  std::vector<int64_t> values;
+  const int64_t spikes[] = {100, 5000, 9000};
+  for (int i = 0; i < 3000; ++i) {
+    values.push_back(spikes[i % 3]);
+  }
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.UniformInt(0, 10000));  // background noise
+  }
+
+  auto exact = [&](int64_t lo, int64_t hi) {
+    size_t n = 0;
+    for (int64_t v : values) n += (v >= lo && v <= hi);
+    return static_cast<double>(n) / static_cast<double>(values.size());
+  };
+
+  // Equal budgets: 16 coefficients * 8B = 128B vs 6 buckets * 20B = 120B.
+  WaveletSummary w = WaveletSummary::Build(values, 16);
+  ValueHistogram h = ValueHistogram::Build(values, 6);
+  ASSERT_LE(w.SizeBytes(), 136u);
+
+  double werr = 0, herr = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t lo = rng.UniformInt(0, 9000);
+    int64_t hi = lo + 700;  // narrow ranges that may or may not hit spikes
+    const double truth = exact(lo, hi);
+    werr += std::abs(w.EstimateFraction(lo, hi) - truth);
+    herr += std::abs(h.EstimateFraction(lo, hi) - truth);
+  }
+  EXPECT_LT(werr, herr);
+}
+
+TEST(WaveletTest, WiderRangesAreMonotone) {
+  util::Rng rng(11);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.UniformInt(0, 1023));
+  WaveletSummary w = WaveletSummary::Build(values, 20);
+  double prev = 0.0;
+  for (int64_t hi = 0; hi <= 1023; hi += 64) {
+    const double f = w.EstimateFraction(0, hi);
+    EXPECT_GE(f, prev - 1e-9);
+    prev = f;
+  }
+}
+
+TEST(WaveletTest, SizeBytesMatchesCoefficients) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 256; ++i) values.push_back(i % 97);
+  WaveletSummary w = WaveletSummary::Build(values, 10);
+  EXPECT_LE(w.coefficient_count(), 10);
+  EXPECT_EQ(w.SizeBytes(),
+            static_cast<size_t>(w.coefficient_count()) * 8);
+}
+
+}  // namespace
+}  // namespace xsketch::hist

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xsketch::xml {
+namespace {
+
+// --- Document construction -----------------------------------------------------
+
+TEST(DocumentTest, BuildSmallTree) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "bib");
+  NodeId a = doc.AddNode(root, "author");
+  NodeId n = doc.AddNode(a, "name");
+  doc.SetValue(n, "42");
+  doc.Seal();
+
+  EXPECT_EQ(doc.size(), 3u);
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.parent(a), root);
+  EXPECT_EQ(doc.parent(n), a);
+  EXPECT_EQ(doc.tag_name(root), "bib");
+  EXPECT_EQ(doc.tag_name(n), "name");
+}
+
+TEST(DocumentTest, ChildOrderPreserved) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "r");
+  NodeId c1 = doc.AddNode(root, "a");
+  NodeId c2 = doc.AddNode(root, "b");
+  NodeId c3 = doc.AddNode(root, "a");
+  doc.Seal();
+  std::vector<NodeId> kids = doc.Children(root);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(kids[0], c1);
+  EXPECT_EQ(kids[1], c2);
+  EXPECT_EQ(kids[2], c3);
+}
+
+TEST(DocumentTest, ChildCountWithTag) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "r");
+  doc.AddNode(root, "a");
+  doc.AddNode(root, "b");
+  doc.AddNode(root, "a");
+  TagId a = doc.LookupTag("a");
+  TagId b = doc.LookupTag("b");
+  EXPECT_EQ(doc.ChildCountWithTag(root, a), 2u);
+  EXPECT_EQ(doc.ChildCountWithTag(root, b), 1u);
+}
+
+TEST(DocumentTest, NumericValueParsing) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "r");
+  NodeId x = doc.AddNode(root, "x");
+  NodeId y = doc.AddNode(root, "y");
+  NodeId z = doc.AddNode(root, "z");
+  doc.SetValue(x, "123");
+  doc.SetValue(y, "hello");
+  doc.SetValue(z, static_cast<int64_t>(-5));
+  doc.Seal();
+
+  ASSERT_TRUE(doc.numeric_value(x).has_value());
+  EXPECT_EQ(*doc.numeric_value(x), 123);
+  EXPECT_FALSE(doc.numeric_value(y).has_value());
+  EXPECT_EQ(doc.text_value(y), "hello");
+  EXPECT_EQ(*doc.numeric_value(z), -5);
+  EXPECT_FALSE(doc.numeric_value(root).has_value());
+  EXPECT_FALSE(doc.has_value(root));
+}
+
+TEST(DocumentTest, SealComputesDepthsAndTagIndex) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "r");
+  NodeId a = doc.AddNode(root, "a");
+  NodeId b = doc.AddNode(a, "b");
+  NodeId b2 = doc.AddNode(root, "b");
+  doc.Seal();
+
+  EXPECT_EQ(doc.Depth(root), 0u);
+  EXPECT_EQ(doc.Depth(a), 1u);
+  EXPECT_EQ(doc.Depth(b), 2u);
+  EXPECT_EQ(doc.max_depth(), 2u);
+  TagId tb = doc.LookupTag("b");
+  const auto& bs = doc.NodesWithTag(tb);
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0], b);
+  EXPECT_EQ(bs[1], b2);
+}
+
+TEST(DocumentTest, StatsComputation) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "r");
+  NodeId a = doc.AddNode(root, "a");
+  doc.AddNode(root, "b");
+  NodeId v = doc.AddNode(a, "v");
+  doc.SetValue(v, static_cast<int64_t>(1));
+  doc.Seal();
+  DocumentStats stats = ComputeStats(doc);
+  EXPECT_EQ(stats.element_count, 4u);
+  EXPECT_EQ(stats.value_count, 1u);
+  EXPECT_EQ(stats.distinct_tags, 4u);
+  EXPECT_EQ(stats.max_depth, 2u);
+  // Internal nodes: r (2 children), a (1 child) -> avg 1.5.
+  EXPECT_DOUBLE_EQ(stats.avg_fanout, 1.5);
+}
+
+// --- Parser ---------------------------------------------------------------------
+
+TEST(ParserTest, MinimalDocument) {
+  auto r = ParseDocument("<root/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value().tag_name(0), "root");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto r = ParseDocument(
+      "<bib><author><name>Smith</name><paper><year>2001</year></paper>"
+      "</author></bib>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.size(), 5u);
+  TagId year = doc.LookupTag("year");
+  ASSERT_NE(year, util::StringInterner::kNotFound);
+  NodeId y = doc.NodesWithTag(year)[0];
+  EXPECT_EQ(*doc.numeric_value(y), 2001);
+  TagId name = doc.LookupTag("name");
+  EXPECT_EQ(doc.text_value(doc.NodesWithTag(name)[0]), "Smith");
+}
+
+TEST(ParserTest, AttributesBecomeChildNodes) {
+  auto r = ParseDocument("<movie id=\"7\" lang='en'><title>X</title></movie>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  TagId id = doc.LookupTag("@id");
+  ASSERT_NE(id, util::StringInterner::kNotFound);
+  NodeId attr = doc.NodesWithTag(id)[0];
+  EXPECT_EQ(doc.parent(attr), doc.root());
+  EXPECT_EQ(*doc.numeric_value(attr), 7);
+  EXPECT_EQ(doc.text_value(doc.NodesWithTag(doc.LookupTag("@lang"))[0]), "en");
+}
+
+TEST(ParserTest, XmlDeclarationCommentsAndDoctype) {
+  auto r = ParseDocument(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE site SYSTEM \"auction.dtd\" [ <!ENTITY x \"y\"> ]>\n"
+      "<!-- a comment -->\n"
+      "<site><!-- inner --><a/></site>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(ParserTest, CdataAndEntities) {
+  auto r = ParseDocument(
+      "<t><a>one &amp; two &lt;three&gt;</a><b><![CDATA[x < y]]></b>"
+      "<c>&#65;&#x42;</c></t>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.text_value(doc.NodesWithTag(doc.LookupTag("a"))[0]),
+            "one & two <three>");
+  EXPECT_EQ(doc.text_value(doc.NodesWithTag(doc.LookupTag("b"))[0]), "x < y");
+  EXPECT_EQ(doc.text_value(doc.NodesWithTag(doc.LookupTag("c"))[0]), "AB");
+}
+
+TEST(ParserTest, MismatchedTagFails) {
+  auto r = ParseDocument("<a><b></a></b>");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(ParserTest, TruncatedInputFails) {
+  EXPECT_FALSE(ParseDocument("<a><b>").ok());
+  EXPECT_FALSE(ParseDocument("<a attr=>").ok());
+  EXPECT_FALSE(ParseDocument("<a attr='x>").ok());
+  EXPECT_FALSE(ParseDocument("").ok());
+  EXPECT_FALSE(ParseDocument("   ").ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(ParseDocument("<a/>junk").ok());
+}
+
+TEST(ParserTest, MixedContentConcatenatesTrimmedChunks) {
+  auto r = ParseDocument("<p>  hello <b/> world  </p>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text_value(r.value().root()), "hello world");
+}
+
+TEST(ParserTest, SelfClosingWithAttributes) {
+  auto r = ParseDocument("<r><item qty=\"3\"/></r>");
+  ASSERT_TRUE(r.ok());
+  const Document& doc = r.value();
+  EXPECT_EQ(doc.size(), 3u);
+  EXPECT_EQ(*doc.numeric_value(doc.NodesWithTag(doc.LookupTag("@qty"))[0]), 3);
+}
+
+TEST(ParserTest, DeepNesting) {
+  std::string in, close;
+  for (int i = 0; i < 200; ++i) {
+    in += "<d>";
+    close = "</d>" + close;
+  }
+  auto r = ParseDocument(in + close);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 200u);
+  EXPECT_EQ(r.value().max_depth(), 199u);
+}
+
+// --- Writer / round-trip ---------------------------------------------------------
+
+TEST(WriterTest, EscapesSpecialCharacters) {
+  Document doc;
+  NodeId root = doc.AddNode(kInvalidNode, "t");
+  doc.SetValue(root, "a & b < c");
+  doc.Seal();
+  std::string out = WriteDocument(doc, {.indent = false});
+  EXPECT_NE(out.find("a &amp; b &lt; c"), std::string::npos);
+}
+
+TEST(WriterTest, AttributesSerializedInline) {
+  auto r = ParseDocument("<m id=\"3\"><t>x</t></m>");
+  ASSERT_TRUE(r.ok());
+  std::string out = WriteDocument(r.value(), {.indent = false});
+  EXPECT_NE(out.find("<m id=\"3\">"), std::string::npos);
+}
+
+TEST(WriterTest, RoundTripPreservesStructure) {
+  const char* input =
+      "<site><people><person id=\"1\"><name>A</name><age>30</age></person>"
+      "<person id=\"2\"><name>B</name></person></people></site>";
+  auto first = ParseDocument(input);
+  ASSERT_TRUE(first.ok());
+  std::string serialized = WriteDocument(first.value());
+  auto second = ParseDocument(serialized);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  const Document& a = first.value();
+  const Document& b = second.value();
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tag_name(i), b.tag_name(i));
+    EXPECT_EQ(a.parent(i), b.parent(i));
+    EXPECT_EQ(a.has_value(i), b.has_value(i));
+    if (a.has_value(i)) EXPECT_EQ(a.text_value(i), b.text_value(i));
+  }
+}
+
+TEST(WriterTest, SerializedSizeMatchesString) {
+  auto r = ParseDocument("<a><b>1</b><c x=\"2\"/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(SerializedSize(r.value()), WriteDocument(r.value()).size());
+}
+
+}  // namespace
+}  // namespace xsketch::xml
