@@ -1,0 +1,113 @@
+// Batch estimation throughput: queries/sec of the EstimationService at
+// 1, 2, 4, 8 worker threads against the sequential Estimator baseline
+// (the single-thread configuration of bench/perf_micro.cc's
+// BM_EstimateTwig, lifted to a whole workload).
+//
+// Workload: XMark positive twigs (§6.1 shape) plus explicit '//'-heavy
+// paths so the shared descendant-path cache sees real contention. Every
+// parallel run is checked bit-identical against the sequential baseline.
+//
+// Scale knobs (see bench_common.h): XS_BENCH_SCALE, XS_BENCH_QUERIES,
+// plus XS_BENCH_BATCH_REPEATS (default 3) timed repetitions per row.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.h"
+#include "query/xpath_parser.h"
+#include "service/estimation_service.h"
+
+namespace {
+
+using namespace xsketch;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const bench::DataSet data = bench::MakeXMark();
+  const int num_queries = bench::BenchQueries();
+  const int repeats = bench::EnvInt("XS_BENCH_BATCH_REPEATS", 3);
+
+  query::WorkloadOptions wopts;
+  wopts.seed = 55;
+  wopts.num_queries = num_queries;
+  wopts.value_pred_fraction = 0.3;
+  const query::Workload workload =
+      query::GeneratePositiveWorkload(data.doc, wopts);
+
+  std::vector<query::TwigQuery> queries;
+  queries.reserve(workload.queries.size());
+  for (const auto& wq : workload.queries) queries.push_back(wq.twig);
+  for (const char* p :
+       {"//item//keyword", "//person//name", "//open_auction//increase",
+        "//site//text", "//europe//item", "//text//keyword"}) {
+    auto q = query::ParsePath(p, data.doc.tags());
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+
+  core::TwigXSketch sketch = core::TwigXSketch::Coarsest(data.doc);
+  std::printf("# %s scale=%.2f, %zu queries, coarsest synopsis %.1f KB\n",
+              data.name.c_str(), bench::BenchScale(), queries.size(),
+              sketch.SizeBytes() / 1024.0);
+
+  // Sequential baseline: one-at-a-time EstimateWithStats, fresh estimator
+  // (cold path cache) per timed repetition, best-of-repeats.
+  std::vector<core::EstimateStats> expected;
+  double seq_best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    core::Estimator est(sketch);
+    std::vector<core::EstimateStats> run;
+    run.reserve(queries.size());
+    const Clock::time_point start = Clock::now();
+    for (const query::TwigQuery& q : queries) {
+      run.push_back(est.EstimateWithStats(q));
+    }
+    const double qps =
+        static_cast<double>(queries.size()) / SecondsSince(start);
+    seq_best = std::max(seq_best, qps);
+    if (r == 0) expected = std::move(run);
+  }
+  std::printf("%-12s %12.0f q/s   (baseline)\n", "sequential", seq_best);
+
+  for (int threads : {1, 2, 4, 8}) {
+    service::ServiceOptions opts;
+    opts.num_threads = threads;
+    double best = 0.0;
+    size_t mismatches = 0;
+    service::BatchStats stats;
+    for (int r = 0; r < repeats; ++r) {
+      // Fresh service per repetition: cold path cache, fair comparison.
+      auto svc = service::EstimationService::Create(sketch, opts);
+      if (!svc.ok()) {
+        std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
+        return 1;
+      }
+      const Clock::time_point start = Clock::now();
+      auto results = svc.value()->EstimateBatch(queries, &stats);
+      const double qps =
+          static_cast<double>(queries.size()) / SecondsSince(start);
+      best = std::max(best, qps);
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            std::memcmp(&results[i].value().estimate, &expected[i].estimate,
+                        sizeof(double)) != 0) {
+          ++mismatches;
+        }
+      }
+    }
+    std::printf(
+        "%2d threads   %12.0f q/s   %5.2fx   p50 %6.1f us  p95 %6.1f us  "
+        "cache %5.1f%%   %s\n",
+        threads, best, best / seq_best, stats.p50_latency_us,
+        stats.p95_latency_us, stats.cache_hit_rate * 100.0,
+        mismatches == 0 ? "bit-identical" : "MISMATCH");
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}

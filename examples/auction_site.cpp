@@ -7,11 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/builder.h"
-#include "core/estimator.h"
-#include "data/xmark.h"
-#include "query/evaluator.h"
-#include "query/xpath_parser.h"
+#include "xsketch_api.h"
 
 int main() {
   using namespace xsketch;

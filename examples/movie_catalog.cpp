@@ -11,11 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/builder.h"
-#include "core/estimator.h"
-#include "data/imdb.h"
-#include "query/evaluator.h"
-#include "query/xpath_parser.h"
+#include "xsketch_api.h"
 
 int main() {
   using namespace xsketch;

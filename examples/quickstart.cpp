@@ -10,12 +10,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "core/builder.h"
-#include "core/estimator.h"
-#include "data/figures.h"
-#include "query/evaluator.h"
-#include "query/xpath_parser.h"
-#include "xml/parser.h"
+#include "xsketch_api.h"
 
 int main(int argc, char** argv) {
   using namespace xsketch;

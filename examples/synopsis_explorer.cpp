@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/builder.h"
-#include "data/imdb.h"
+#include "xsketch_api.h"
 
 namespace {
 

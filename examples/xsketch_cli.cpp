@@ -2,28 +2,25 @@
 //
 //   xsketch_cli build   <doc> <sketch-file> [budget-kb]   build + save
 //   xsketch_cli estimate <doc> <sketch-file> <query>...   load + estimate
+//   xsketch_cli batch   <doc> <sketch-file> <workload-file> [threads]
+//                                          parallel batch estimation
 //   xsketch_cli exact    <doc> <query>...                 ground truth
 //   xsketch_cli stats    <doc>                            document summary
 //
 // <doc> is either a path to an XML file or one of the built-in data set
 // names xmark / imdb / sprot (optionally with a scale suffix, e.g.
 // "xmark:0.1"). Queries are XPath expressions or for-clauses (quoted).
+// <workload-file> holds one query per line; blank lines and lines
+// starting with '#' are skipped.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/builder.h"
-#include "core/estimator.h"
-#include "core/serialize.h"
-#include "data/imdb.h"
-#include "data/swissprot.h"
-#include "data/xmark.h"
-#include "query/evaluator.h"
-#include "query/xpath_parser.h"
-#include "xml/parser.h"
+#include "xsketch_api.h"
 
 namespace {
 
@@ -34,6 +31,8 @@ int Usage() {
                "usage:\n"
                "  xsketch_cli build <doc> <sketch-file> [budget-kb]\n"
                "  xsketch_cli estimate <doc> <sketch-file> <query>...\n"
+               "  xsketch_cli batch <doc> <sketch-file> <workload-file> "
+               "[threads]\n"
                "  xsketch_cli exact <doc> <query>...\n"
                "  xsketch_cli stats <doc>\n"
                "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n");
@@ -138,8 +137,78 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
         continue;
       }
-      std::printf("%-50s %14.1f\n", argv[i], est.Estimate(twig.value()));
+      auto stats = est.EstimateChecked(twig.value());
+      if (!stats.ok()) {
+        std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-50s %14.1f\n", argv[i], stats.value().estimate);
     }
+    return 0;
+  }
+
+  if (cmd == "batch") {
+    if (argc < 5) return Usage();
+    auto sketch = core::LoadSketchFromFile(argv[3], doc);
+    if (!sketch.ok()) {
+      std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+      return 1;
+    }
+    std::ifstream in(argv[4]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[4]);
+      return 1;
+    }
+    std::vector<std::string> texts;
+    std::vector<query::TwigQuery> queries;
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      auto twig = ParseQuery(line, doc);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "skipping '%s': %s\n", line.c_str(),
+                     twig.status().ToString().c_str());
+        continue;
+      }
+      texts.push_back(line);
+      queries.push_back(std::move(twig).value());
+    }
+
+    service::ServiceOptions opts;
+    opts.num_threads = argc > 5 ? std::atoi(argv[5]) : 0;
+    auto svc = service::EstimationService::Create(std::move(sketch).value(),
+                                                  opts);
+    if (!svc.ok()) {
+      std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
+      return 1;
+    }
+    service::BatchStats bstats;
+    auto results = svc.value()->EstimateBatch(queries, &bstats);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        std::printf("%-50s %14.1f\n", texts[i].c_str(),
+                    results[i].value().estimate);
+      } else {
+        std::printf("%-50s %s\n", texts[i].c_str(),
+                    results[i].status().ToString().c_str());
+      }
+    }
+    std::printf(
+        "batch: %zu queries (%zu failed) on %d threads in %.2f ms "
+        "(%.0f q/s)\n"
+        "latency p50 %.1f us, p95 %.1f us; path-cache hit rate %.1f%%\n"
+        "terms: covered %lld, uniformity %lld, conditioned %lld\n",
+        bstats.queries, bstats.failed, svc.value()->num_threads(),
+        bstats.wall_ms,
+        bstats.wall_ms > 0
+            ? static_cast<double>(bstats.queries) / (bstats.wall_ms / 1e3)
+            : 0.0,
+        bstats.p50_latency_us, bstats.p95_latency_us,
+        bstats.cache_hit_rate * 100.0,
+        static_cast<long long>(bstats.covered_terms),
+        static_cast<long long>(bstats.uniformity_terms),
+        static_cast<long long>(bstats.conditioned_nodes));
     return 0;
   }
 

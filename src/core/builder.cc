@@ -92,7 +92,13 @@ bool ApplyRefinement(TwigXSketch* sketch, const Refinement& r) {
 }
 
 XBuild::XBuild(const xml::Document& doc, const BuildOptions& options)
-    : doc_(doc), options_(options) {}
+    : doc_(doc), options_(options) {
+  // Fail fast on nonsensical sub-options instead of aborting mid-build.
+  const util::Status coarsest = options_.coarsest.Validate();
+  XS_CHECK_MSG(coarsest.ok(), coarsest.ToString().c_str());
+  const util::Status estimator = options_.estimator.Validate();
+  XS_CHECK_MSG(estimator.ok(), estimator.ToString().c_str());
+}
 
 double XBuild::WorkloadError(const TwigXSketch& sketch,
                              const query::Workload& workload,

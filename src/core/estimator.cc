@@ -20,9 +20,47 @@ uint64_t MemoKey(int t, SynNodeId n) {
 
 }  // namespace
 
+util::Status EstimatorOptions::Validate() const {
+  if (max_descendant_paths < 1) {
+    return util::Status::InvalidArgument(
+        "max_descendant_paths must be >= 1 (got " +
+        std::to_string(max_descendant_paths) + ")");
+  }
+  if (max_path_length < 0) {
+    return util::Status::InvalidArgument(
+        "max_path_length must be >= 0 (got " +
+        std::to_string(max_path_length) + ")");
+  }
+  return util::Status::OK();
+}
+
+const DescendantPathCache::Paths* DescendantPathCache::Find(
+    uint64_t key) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
+}
+
+const DescendantPathCache::Paths& DescendantPathCache::Insert(
+    uint64_t key, Paths paths) const {
+  Shard& s = shard(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto [pos, inserted] =
+      s.map.try_emplace(key, std::make_unique<const Paths>(std::move(paths)));
+  (void)inserted;  // losing the race is fine: both threads computed the
+                   // same deterministic expansion
+  return *pos->second;
+}
+
 Estimator::Estimator(const TwigXSketch& sketch,
                      const EstimatorOptions& options)
     : sketch_(sketch), options_(options) {
+  const util::Status st = options_.Validate();
+  XS_CHECK_MSG(st.ok(), st.ToString().c_str());
   path_length_cap_ =
       options_.max_path_length > 0
           ? options_.max_path_length
@@ -38,6 +76,12 @@ EstimateStats Estimator::EstimateWithStats(
   EstimateStats stats;
   stats.estimate = EstimateImpl(twig, &stats);
   return stats;
+}
+
+util::Result<EstimateStats> Estimator::EstimateChecked(
+    const query::TwigQuery& twig) const {
+  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  return EstimateWithStats(twig);
 }
 
 double Estimator::EstimateImpl(const query::TwigQuery& twig,
@@ -324,12 +368,15 @@ double Estimator::ChainTerm(SynNodeId cur,
   return result;
 }
 
-const std::vector<std::vector<SynNodeId>>& Estimator::DescendantPaths(
+const DescendantPathCache::Paths& Estimator::DescendantPaths(
     SynNodeId n, xml::TagId tag) const {
   const uint64_t key = (static_cast<uint64_t>(n) << 32) | tag;
-  auto it = path_cache_.find(key);
-  if (it != path_cache_.end()) return it->second;
+  if (const DescendantPathCache::Paths* hit = path_cache_.Find(key)) {
+    return *hit;
+  }
 
+  // Compute outside the shard lock: a racing thread may redo this work,
+  // but the expansion is deterministic and Insert is first-writer-wins.
   std::vector<std::vector<SynNodeId>> paths;
   std::vector<SynNodeId> current;
   const Synopsis& syn = sketch_.synopsis();
@@ -352,9 +399,7 @@ const std::vector<std::vector<SynNodeId>>& Estimator::DescendantPaths(
   };
   if (tag != query::kUnknownTag) dfs(dfs, n);
 
-  auto [pos, inserted] = path_cache_.emplace(key, std::move(paths));
-  XS_CHECK(inserted);
-  return pos->second;
+  return path_cache_.Insert(key, std::move(paths));
 }
 
 }  // namespace xsketch::core

@@ -27,23 +27,39 @@
 //
 // Value predicates multiply in the predicated node's value-histogram
 // fraction (value independence, the paper's prototype configuration).
+//
+// Concurrency: one Estimator may be shared by any number of threads.
+// Every mutable per-call structure (the conditioning stack, the memo
+// table, the diagnostics sink) lives in a stack-local EvalState; the only
+// state shared across calls is the read-only sketch and the descendant-
+// path cache, which is sharded and mutex-guarded (see DescendantPathCache).
 
 #ifndef XSKETCH_CORE_ESTIMATOR_H_
 #define XSKETCH_CORE_ESTIMATOR_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/twig_xsketch.h"
 #include "query/twig.h"
+#include "util/status.h"
 
 namespace xsketch::core {
 
 struct EstimatorOptions {
   // Bounds on '//' expansion over the synopsis graph.
-  int max_descendant_paths = 128;   // alternatives kept per '//' step
-  int max_path_length = 0;          // 0: use document max depth + 1
+  int max_descendant_paths = 128;   // alternatives kept per '//' step; >= 1
+  int max_path_length = 0;          // >= 0; 0: use document max depth + 1
+
+  // Rejects nonsensical configurations (non-positive path cap, negative
+  // length bound). Construction boundaries (Estimator, XBuild,
+  // EstimationService) require Validate().ok().
+  util::Status Validate() const;
 };
 
 // Diagnostics: which estimation mechanisms a query exercised. Counts are
@@ -58,17 +74,83 @@ struct EstimateStats {
   int descendant_chains = 0;   // '//' expansion alternatives evaluated
 };
 
+// Memo of '//' expansions, shared by all threads using one Estimator.
+// Sharded by key hash; each shard is guarded by its own mutex so
+// concurrent lookups of distinct (node, tag) pairs rarely contend. Stored
+// path lists sit behind unique_ptr, so references returned to callers
+// survive shard rehashing; entries are never erased or overwritten
+// (first-writer-wins on a compute race), so a returned reference is valid
+// for the cache's lifetime.
+class DescendantPathCache {
+ public:
+  using Paths = std::vector<std::vector<SynNodeId>>;
+
+  struct Counters {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+  };
+
+  // The cached expansion for `key`, or nullptr. Counts one lookup.
+  const Paths* Find(uint64_t key) const;
+
+  // Inserts `paths` unless another thread won the race; either way returns
+  // the stored expansion for `key`.
+  const Paths& Insert(uint64_t key, Paths paths) const;
+
+  Counters counters() const {
+    return {lookups_.load(std::memory_order_relaxed),
+            hits_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::unique_ptr<const Paths>> map;
+  };
+
+  Shard& shard(uint64_t key) const {
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+};
+
+// Shareable, internally synchronized estimator: all public methods are
+// const and safe to call concurrently from many threads (the sketch must
+// outlive the Estimator and stay unmodified while estimates run).
 class Estimator {
  public:
+  // Requires options.Validate().ok(); pre-validate via
+  // EstimatorOptions::Validate when options come from untrusted input.
   explicit Estimator(const TwigXSketch& sketch,
                      const EstimatorOptions& options = {});
 
+  Estimator(const Estimator&) = delete;
+  Estimator& operator=(const Estimator&) = delete;
+
   // Estimated number of binding tuples for `twig`. Deterministic; never
-  // negative. Queries over absent labels estimate 0.
+  // negative. Queries over absent labels estimate 0. The twig must be
+  // well-formed (see TwigQuery::Validate); use EstimateChecked for
+  // untrusted queries.
   double Estimate(const query::TwigQuery& twig) const;
 
   // Same estimate plus diagnostics about the assumptions applied.
   EstimateStats EstimateWithStats(const query::TwigQuery& twig) const;
+
+  // Validating entry point for queries from untrusted sources: rejects
+  // malformed twigs (empty query, dangling branch, existential root) with
+  // Status::InvalidArgument instead of relying on XS_CHECK aborts.
+  util::Result<EstimateStats> EstimateChecked(
+      const query::TwigQuery& twig) const;
+
+  // Cumulative '//'-expansion cache statistics (all calls so far).
+  DescendantPathCache::Counters path_cache_counters() const {
+    return path_cache_.counters();
+  }
 
  private:
   struct CtxEntry {
@@ -77,7 +159,8 @@ class Estimator {
     double value;
   };
   // Per-call evaluation state: the conditioning stack plus a memo for
-  // context-free subtrees.
+  // context-free subtrees. Stack-local to each Estimate call — this is
+  // what keeps concurrent calls from sharing mutable state.
   struct EvalState {
     const query::TwigQuery* twig = nullptr;
     std::vector<CtxEntry> ctx;
@@ -110,15 +193,15 @@ class Estimator {
   double ValueFraction(SynNodeId n, int t, EvalState& state) const;
 
   // All synopsis label paths n -> ... -> (tag) with length in
-  // [1, max_path_length], capped at max_descendant_paths. Cached.
-  const std::vector<std::vector<SynNodeId>>& DescendantPaths(
-      SynNodeId n, xml::TagId tag) const;
+  // [1, max_path_length], capped at max_descendant_paths. Cached in the
+  // shared, thread-safe path cache.
+  const DescendantPathCache::Paths& DescendantPaths(SynNodeId n,
+                                                    xml::TagId tag) const;
 
   const TwigXSketch& sketch_;
   EstimatorOptions options_;
   int path_length_cap_;
-  mutable std::unordered_map<uint64_t, std::vector<std::vector<SynNodeId>>>
-      path_cache_;
+  DescendantPathCache path_cache_;
 };
 
 }  // namespace xsketch::core

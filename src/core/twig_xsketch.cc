@@ -26,8 +26,29 @@ int NodeSummary::FindBackwardDim(SynNodeId from, SynNodeId to) const {
   return -1;
 }
 
+util::Status CoarsestOptions::Validate() const {
+  if (initial_buckets < 1) {
+    return util::Status::InvalidArgument(
+        "initial_buckets must be >= 1 (got " +
+        std::to_string(initial_buckets) + ")");
+  }
+  if (initial_value_buckets < 1) {
+    return util::Status::InvalidArgument(
+        "initial_value_buckets must be >= 1 (got " +
+        std::to_string(initial_value_buckets) + ")");
+  }
+  if (max_initial_dims < 0) {
+    return util::Status::InvalidArgument(
+        "max_initial_dims must be >= 0 (got " +
+        std::to_string(max_initial_dims) + ")");
+  }
+  return util::Status::OK();
+}
+
 TwigXSketch TwigXSketch::Coarsest(const xml::Document& doc,
                                   const CoarsestOptions& options) {
+  const util::Status st = options.Validate();
+  XS_CHECK_MSG(st.ok(), st.ToString().c_str());
   TwigXSketch sketch(Synopsis::LabelSplit(doc));
   sketch.summaries_.resize(sketch.synopsis_.node_count());
   for (SynNodeId n = 0; n < sketch.synopsis_.node_count(); ++n) {

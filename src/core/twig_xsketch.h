@@ -59,16 +59,22 @@ struct NodeSummary {
 };
 
 struct CoarsestOptions {
-  // Bucket budget of the initial 1-D edge histograms.
+  // Bucket budget of the initial 1-D edge histograms. Must be >= 1.
   int initial_buckets = 8;
-  // Bucket budget of the initial value histograms.
+  // Bucket budget of the initial value histograms. Must be >= 1.
   int initial_value_buckets = 4;
   // The initial histogram covers forward counts to F-stable children only,
   // and is single-dimensional (paper §5: "single-dimensional
   // edge-histograms that cover path counts to forward-stable children
   // only"); joint dimensions are added later by edge-expand. Raise this to
-  // start from joint histograms (highest-count edges win).
+  // start from joint histograms (highest-count edges win); 0 starts with
+  // no edge histograms at all (pure graph synopsis). Must be >= 0.
   int max_initial_dims = 1;
+
+  // Rejects nonsensical configurations (zero/negative budgets or
+  // dimension caps). Construction boundaries (Coarsest, XBuild) require
+  // Validate().ok().
+  util::Status Validate() const;
 };
 
 class TwigXSketch {

@@ -78,6 +78,60 @@ double TwigQuery::AvgInternalFanout() const {
                              static_cast<double>(internal);
 }
 
+util::Status TwigQuery::Validate() const {
+  if (nodes_.empty()) {
+    return util::Status::InvalidArgument("empty twig query");
+  }
+  if (nodes_[0].parent != kNoParent) {
+    return util::Status::InvalidArgument("twig node 0 must be the root");
+  }
+  if (nodes_[0].existential) {
+    return util::Status::InvalidArgument(
+        "twig root cannot be existential: a query needs at least one "
+        "binding node");
+  }
+  for (int i = 0; i < size(); ++i) {
+    const Node& n = nodes_[i];
+    if (i > 0) {
+      // AddNode appends below an existing parent, so parents precede
+      // children; anything else is a dangling or cyclic branch.
+      if (n.parent < 0 || n.parent >= i) {
+        return util::Status::InvalidArgument(
+            "twig node " + std::to_string(i) +
+            " has dangling parent link " + std::to_string(n.parent));
+      }
+      const auto& siblings = nodes_[n.parent].children;
+      int links = 0;
+      for (int c : siblings) {
+        if (c == i) ++links;
+      }
+      if (links != 1) {
+        return util::Status::InvalidArgument(
+            "twig node " + std::to_string(i) + " is listed " +
+            std::to_string(links) + " times among its parent's children");
+      }
+    }
+    for (int c : n.children) {
+      if (c <= i || c >= size()) {
+        return util::Status::InvalidArgument(
+            "twig node " + std::to_string(i) + " has dangling child link " +
+            std::to_string(c));
+      }
+      if (nodes_[c].parent != i) {
+        return util::Status::InvalidArgument(
+            "twig node " + std::to_string(c) +
+            " does not point back at its parent " + std::to_string(i));
+      }
+    }
+    if (n.pred.has_value() && n.pred->lo > n.pred->hi) {
+      return util::Status::InvalidArgument(
+          "twig node " + std::to_string(i) + " has empty value range " +
+          n.pred->ToString());
+    }
+  }
+  return util::Status::OK();
+}
+
 std::vector<int> TwigQuery::DepthFirstOrder() const {
   std::vector<int> order;
   order.reserve(nodes_.size());

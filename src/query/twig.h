@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
 #include "util/string_interner.h"
 #include "xml/document.h"
 
@@ -82,6 +83,14 @@ class TwigQuery {
   bool has_branching() const;
   // Average child count over internal nodes ("fanout" in Table 2).
   double AvgInternalFanout() const;
+
+  // Structural well-formedness: non-empty, node 0 is the root, parent
+  // links topologically ordered and mirrored by children lists (no
+  // dangling branches), root not existential, value predicates non-empty
+  // ranges. Queries built exclusively through AddNode are always valid;
+  // this guards twigs assembled or mutated by callers before they reach
+  // estimation entry points that would otherwise XS_CHECK-abort.
+  util::Status Validate() const;
 
   // Nodes in depth-first (pre-order) order starting at the root; parents
   // always precede children.

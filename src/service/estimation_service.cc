@@ -1,0 +1,150 @@
+#include "service/estimation_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace xsketch::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+// Nearest-rank percentile of an unsorted latency sample (sorts in place).
+double Percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  return xs[static_cast<size_t>(std::llround(rank))];
+}
+
+}  // namespace
+
+util::Status ServiceOptions::Validate() const {
+  if (num_threads < 0) {
+    return util::Status::InvalidArgument(
+        "num_threads must be >= 0 (got " + std::to_string(num_threads) +
+        "; 0 means hardware concurrency)");
+  }
+  if (chunk_size < 0) {
+    return util::Status::InvalidArgument(
+        "chunk_size must be >= 0 (got " + std::to_string(chunk_size) +
+        "; 0 means auto)");
+  }
+  return estimator.Validate();
+}
+
+util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
+    core::TwigXSketch sketch, const ServiceOptions& options) {
+  if (util::Status st = options.Validate(); !st.ok()) return st;
+  const int threads = options.num_threads > 0
+                          ? options.num_threads
+                          : util::ThreadPool::HardwareThreads();
+  return std::unique_ptr<EstimationService>(
+      new EstimationService(std::move(sketch), options, threads));
+}
+
+EstimationService::EstimationService(core::TwigXSketch sketch,
+                                     const ServiceOptions& options,
+                                     int num_threads)
+    : sketch_(std::move(sketch)),
+      options_(options),
+      estimator_(sketch_, options.estimator),
+      pool_(num_threads) {}
+
+EstimationService::~EstimationService() = default;
+
+util::Result<core::EstimateStats> EstimationService::Estimate(
+    const query::TwigQuery& twig) const {
+  return estimator_.EstimateChecked(twig);
+}
+
+std::vector<util::Result<core::EstimateStats>>
+EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
+                                 BatchStats* stats) {
+  const Clock::time_point batch_start = Clock::now();
+  const auto cache_before = estimator_.path_cache_counters();
+
+  const size_t n = queries.size();
+  // Result<T> has no default constructor; stage into optionals and move
+  // into the final vector once every slot is filled.
+  std::vector<std::optional<util::Result<core::EstimateStats>>> staged(n);
+  std::vector<double> latencies_us(n, 0.0);
+
+  size_t chunk = options_.chunk_size > 0
+                     ? static_cast<size_t>(options_.chunk_size)
+                     : n / (static_cast<size_t>(pool_.num_threads()) * 4);
+  chunk = std::max<size_t>(1, chunk);
+
+  std::mutex done_mu;
+  std::condition_variable all_done;
+  size_t pending = 0;
+  for (size_t begin = 0; begin < n; begin += chunk) ++pending;
+
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    pool_.Submit([this, queries, begin, end, &staged, &latencies_us,
+                  &done_mu, &all_done, &pending] {
+      for (size_t i = begin; i < end; ++i) {
+        const Clock::time_point q_start = Clock::now();
+        staged[i].emplace(estimator_.EstimateChecked(queries[i]));
+        latencies_us[i] = MicrosBetween(q_start, Clock::now());
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) all_done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    all_done.wait(lock, [&pending] { return pending == 0; });
+  }
+
+  std::vector<util::Result<core::EstimateStats>> results;
+  results.reserve(n);
+  size_t failed = 0;
+  BatchStats agg;
+  for (size_t i = 0; i < n; ++i) {
+    XS_CHECK(staged[i].has_value());
+    if (staged[i]->ok()) {
+      const core::EstimateStats& s = staged[i]->value();
+      agg.covered_terms += s.covered_terms;
+      agg.uniformity_terms += s.uniformity_terms;
+      agg.conditioned_nodes += s.conditioned_nodes;
+      agg.value_fractions += s.value_fractions;
+      agg.existential_terms += s.existential_terms;
+      agg.descendant_chains += s.descendant_chains;
+    } else {
+      ++failed;
+    }
+    results.push_back(std::move(*staged[i]));
+  }
+
+  if (stats != nullptr) {
+    agg.queries = n;
+    agg.failed = failed;
+    agg.wall_ms = MicrosBetween(batch_start, Clock::now()) / 1000.0;
+    agg.p50_latency_us = Percentile(latencies_us, 0.50);
+    agg.p95_latency_us = Percentile(latencies_us, 0.95);
+    const auto cache_after = estimator_.path_cache_counters();
+    const uint64_t lookups = cache_after.lookups - cache_before.lookups;
+    const uint64_t hits = cache_after.hits - cache_before.hits;
+    agg.cache_hit_rate = lookups == 0 ? 0.0
+                                      : static_cast<double>(hits) /
+                                            static_cast<double>(lookups);
+    *stats = agg;
+  }
+  return results;
+}
+
+}  // namespace xsketch::service

@@ -1,0 +1,104 @@
+// EstimationService: the concurrent batch estimation engine.
+//
+// The paper's evaluation (§6, Table 2) runs thousand-query workloads
+// against one synopsis; this is the serving-shaped version of that setting:
+// the service owns one immutable Twig XSKETCH plus a shared Estimator and
+// fans batches of twig queries out across a fixed thread pool. Per-query
+// work is independent — the only cross-thread state is the estimator's
+// sharded descendant-path cache — so results are bit-identical to running
+// Estimator::EstimateWithStats sequentially in batch order.
+//
+// Every query goes through Estimator::EstimateChecked: malformed twigs
+// come back as per-query Status::InvalidArgument entries, never aborts,
+// and never poison the rest of the batch.
+
+#ifndef XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
+#define XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "query/twig.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace xsketch::service {
+
+struct ServiceOptions {
+  // Worker threads estimating in parallel. 0 picks the hardware
+  // concurrency; otherwise must be >= 1.
+  int num_threads = 0;
+  // Queries per scheduled task. 0 picks a chunk size that gives each
+  // worker ~4 chunks (bounds scheduling overhead while still smoothing
+  // skewed per-query latencies); otherwise must be >= 1.
+  int chunk_size = 0;
+  // Forwarded to the shared Estimator.
+  core::EstimatorOptions estimator;
+
+  util::Status Validate() const;
+};
+
+// Aggregate observability for one EstimateBatch call.
+struct BatchStats {
+  size_t queries = 0;
+  size_t failed = 0;              // per-query InvalidArgument results
+  double wall_ms = 0.0;           // end-to-end batch wall time
+  double p50_latency_us = 0.0;    // per-query estimation latency
+  double p95_latency_us = 0.0;
+  // Descendant-path cache hit rate over this batch's lookups (0 when the
+  // batch never expanded a '//' step). Approximate if batches overlap.
+  double cache_hit_rate = 0.0;
+  // Sums of the per-query EstimateStats counters (successful queries).
+  int64_t covered_terms = 0;      // E_i
+  int64_t uniformity_terms = 0;   // U_i
+  int64_t conditioned_nodes = 0;  // D_i
+  int64_t value_fractions = 0;
+  int64_t existential_terms = 0;
+  int64_t descendant_chains = 0;
+};
+
+class EstimationService {
+ public:
+  // Takes ownership of `sketch`; validates `options`. The returned
+  // service is immutable and safe to share across threads.
+  static util::Result<std::unique_ptr<EstimationService>> Create(
+      core::TwigXSketch sketch, const ServiceOptions& options = {});
+
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  // Estimates every query in `queries`, in parallel, preserving order:
+  // result i corresponds to queries[i]. Per-query failures (malformed
+  // twigs) surface as failed Results. When `stats` is non-null it
+  // receives the batch's aggregate observability.
+  std::vector<util::Result<core::EstimateStats>> EstimateBatch(
+      std::span<const query::TwigQuery> queries,
+      BatchStats* stats = nullptr);
+
+  // Single-query convenience: EstimateChecked on the shared estimator.
+  util::Result<core::EstimateStats> Estimate(
+      const query::TwigQuery& twig) const;
+
+  const core::TwigXSketch& sketch() const { return sketch_; }
+  const core::Estimator& estimator() const { return estimator_; }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  EstimationService(core::TwigXSketch sketch, const ServiceOptions& options,
+                    int num_threads);
+
+  core::TwigXSketch sketch_;   // owned; never mutated after construction
+  ServiceOptions options_;
+  core::Estimator estimator_;  // shared by all workers
+  util::ThreadPool pool_;
+};
+
+}  // namespace xsketch::service
+
+#endif  // XSKETCH_SERVICE_ESTIMATION_SERVICE_H_

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for fan-out over independent tasks.
+//
+// Semantics chosen for the batch estimation engine (service/):
+//  * Submit enqueues a task; any idle worker picks it up. Tasks must not
+//    throw (the library is exception-free; a throwing task terminates).
+//  * Shutdown is graceful: workers drain every task already queued, then
+//    exit. It is idempotent and also runs from the destructor, so pending
+//    work submitted before shutdown is never dropped.
+//  * Submit after Shutdown is a checked programming error.
+
+#ifndef XSKETCH_UTIL_THREAD_POOL_H_
+#define XSKETCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xsketch::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1; use HardwareThreads() to size by
+  // the machine).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  // Drains the queue, runs every submitted task, and joins all workers.
+  // Idempotent; safe to call while tasks are still pending.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency with a floor of 1 (the standard
+  // allows it to return 0 when unknown).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutting_down_ = false;               // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,42 @@
+// xsketch public facade: the single include for library consumers.
+//
+//   #include "xsketch_api.h"
+//
+// exports everything an application needs —
+//   xml::       ParseDocument / WriteDocument / Document
+//   data::      built-in generators (bibliography, XMark, IMDB, SwissProt)
+//   query::     TwigQuery, ParsePath / ParseForClause, ExactEvaluator,
+//               workload generation
+//   core::      BuildOptions + XBuild, TwigXSketch (+ Coarsest),
+//               Estimator (Estimate / EstimateWithStats / EstimateChecked),
+//               Save/LoadSketch
+//   service::   EstimationService — the concurrent batch estimation engine
+//   util::      Status / Result, ThreadPool
+//
+// Everything under src/ not reachable from this header (hist/, cst/,
+// synopsis internals) is implementation detail with no stability promise;
+// examples/ compile against this facade only.
+
+#ifndef XSKETCH_XSKETCH_API_H_
+#define XSKETCH_XSKETCH_API_H_
+
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "core/serialize.h"
+#include "core/twig_xsketch.h"
+#include "data/figures.h"
+#include "data/imdb.h"
+#include "data/swissprot.h"
+#include "data/xmark.h"
+#include "query/evaluator.h"
+#include "query/twig.h"
+#include "query/workload.h"
+#include "query/xpath_parser.h"
+#include "service/estimation_service.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+#endif  // XSKETCH_XSKETCH_API_H_

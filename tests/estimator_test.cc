@@ -451,5 +451,87 @@ TEST(EstimatorOptionsTest, DescendantPathCapIsDeterministicUnderestimate) {
   EXPECT_EQ(capped_est, Estimator(sketch, capped).Estimate(q.value()));
 }
 
+TEST(EstimatorOptionsTest, ValidateRejectsNonsense) {
+  EstimatorOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  EstimatorOptions zero_paths;
+  zero_paths.max_descendant_paths = 0;
+  EXPECT_EQ(zero_paths.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+
+  EstimatorOptions negative_length;
+  negative_length.max_path_length = -1;
+  EXPECT_EQ(negative_length.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(CoarsestOptionsTest, ValidateRejectsNonsense) {
+  CoarsestOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  CoarsestOptions zero_buckets;
+  zero_buckets.initial_buckets = 0;
+  EXPECT_EQ(zero_buckets.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+
+  CoarsestOptions negative_value_buckets;
+  negative_value_buckets.initial_value_buckets = -4;
+  EXPECT_EQ(negative_value_buckets.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+
+  CoarsestOptions no_dims;  // 0 is the "pure graph synopsis" config
+  no_dims.max_initial_dims = 0;
+  EXPECT_TRUE(no_dims.Validate().ok());
+  CoarsestOptions negative_dims;
+  negative_dims.max_initial_dims = -1;
+  EXPECT_EQ(negative_dims.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(EstimateCheckedTest, AcceptsParserOutputAndMatchesUnchecked) {
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  Estimator est(sketch);
+  auto q = query::ParsePath("//paper/title", doc.tags());
+  ASSERT_TRUE(q.ok());
+  auto checked = est.EstimateChecked(q.value());
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value().estimate, est.Estimate(q.value()));
+}
+
+TEST(EstimateCheckedTest, RejectsMalformedTwigs) {
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  Estimator est(sketch);
+
+  // Empty query.
+  query::TwigQuery empty;
+  EXPECT_EQ(est.EstimateChecked(empty).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Dangling branch: a child link whose target no longer points back.
+  auto q = query::ParseForClause("for t0 in //paper, t1 in t0/title",
+                                 doc.tags());
+  ASSERT_TRUE(q.ok());
+  query::TwigQuery dangling = q.value();
+  dangling.mutable_node(1).parent = query::TwigQuery::kNoParent;
+  EXPECT_EQ(est.EstimateChecked(dangling).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Existential root: no binding node anywhere.
+  query::TwigQuery eroot;
+  eroot.AddNode(query::TwigQuery::kNoParent, query::Axis::kDescendant,
+                doc.LookupTag("paper"), /*existential=*/true);
+  EXPECT_EQ(est.EstimateChecked(eroot).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  // Empty value range.
+  query::TwigQuery bad_range = q.value();
+  bad_range.mutable_node(1).pred = query::ValuePredicate{10, 5};
+  EXPECT_EQ(est.EstimateChecked(bad_range).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace xsketch::core

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency-sensitive tests under ThreadSanitizer
+# and AddressSanitizer (the CI job for repos without a hosted runner).
+#
+#   tests/run_sanitizers.sh [thread|address]...   # default: both
+#
+# Uses separate build trees (build-tsan/, build-asan/) so sanitized
+# objects never mix with the regular build/.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TARGETS=(service_test estimator_test)
+MODES=("${@:-thread address}")
+
+for MODE in ${MODES[@]}; do
+  case "$MODE" in
+    thread)  BUILD="$ROOT/build-tsan" ;;
+    address) BUILD="$ROOT/build-asan" ;;
+    *) echo "unknown sanitizer '$MODE' (want thread|address)" >&2; exit 2 ;;
+  esac
+  echo "=== $MODE sanitizer ==="
+  cmake -B "$BUILD" -S "$ROOT" -DXSKETCH_SANITIZE="$MODE" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$(nproc)" --target "${TARGETS[@]}"
+  for t in "${TARGETS[@]}"; do
+    echo "--- $t ($MODE) ---"
+    "$BUILD/tests/$t"
+  done
+done
+echo "all sanitizer runs passed"
