@@ -1,0 +1,75 @@
+// Synopsis construction wall time: XBUILD with parallel candidate scoring
+// at 1, 2, 4, 8 worker threads on the XMark bench document, against the
+// 1-thread configuration as baseline.
+//
+// Candidate scoring is deterministic regardless of scheduling (every
+// trial starts from a private copy of the current sketch; ties break on
+// candidate index), so each run is checked bit-identical to the baseline:
+// same accepted-refinement step sizes, same per-kind acceptance counts,
+// and byte-identical serialized sketches.
+//
+// Scale knobs (see bench_common.h): XS_BENCH_SCALE, XS_BENCH_BUDGET.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/serialize.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace xsketch;
+
+}  // namespace
+
+int main() {
+  const bench::DataSet data = bench::MakeXMark();
+
+  core::BuildOptions opts;
+  opts.budget_bytes = bench::BenchBudgetBytes();
+
+  // Speedup is bounded by the machine: a 4-thread build cannot beat a
+  // sequential one on fewer than 4 hardware threads, so print the cap.
+  std::printf("# %s scale=%.2f, %zu elements, budget %.0f KB, "
+              "%d hardware threads\n",
+              data.name.c_str(), bench::BenchScale(), data.doc.size(),
+              opts.budget_bytes / 1024.0,
+              util::ThreadPool::HardwareThreads());
+
+  std::string baseline_bytes;
+  std::vector<size_t> baseline_steps;
+  std::array<int64_t, core::BuildStats::kNumKinds> baseline_kinds = {};
+  double baseline_ms = 0.0;
+
+  for (int threads : {1, 2, 4, 8}) {
+    opts.num_threads = threads;
+    core::BuildStats stats;
+    std::vector<size_t> steps;
+    core::TwigXSketch sketch = core::XBuild(data.doc, opts)
+        .Build([&](const core::TwigXSketch&, size_t size) {
+                 steps.push_back(size);
+               },
+               &stats);
+    const std::string bytes = core::SaveSketch(sketch);
+    if (threads == 1) {
+      baseline_bytes = bytes;
+      baseline_steps = steps;
+      baseline_kinds = stats.accepted_by_kind;
+      baseline_ms = stats.wall_ms;
+    }
+    const bool identical = bytes == baseline_bytes &&
+                           steps == baseline_steps &&
+                           stats.accepted_by_kind == baseline_kinds;
+    std::printf(
+        "%2d threads   %8.0f ms   %5.2fx   %3d refinements   "
+        "scoring p50 %6.1f ms  p95 %6.1f ms   err %.3f   %s\n",
+        threads, stats.wall_ms, baseline_ms / stats.wall_ms,
+        stats.iterations, stats.scoring_p50_ms, stats.scoring_p95_ms,
+        stats.final_error, identical ? "bit-identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+  return 0;
+}

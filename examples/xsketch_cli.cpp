@@ -1,6 +1,7 @@
 // xsketch_cli — command-line front end for the library.
 //
-//   xsketch_cli build   <doc> <sketch-file> [budget-kb]   build + save
+//   xsketch_cli build   <doc> <sketch-file> [budget-kb] [threads]
+//                                          parallel build + save
 //   xsketch_cli estimate <doc> <sketch-file> <query>...   load + estimate
 //   xsketch_cli batch   <doc> <sketch-file> <workload-file> [threads]
 //                                          parallel batch estimation
@@ -13,6 +14,8 @@
 // <workload-file> holds one query per line; blank lines and lines
 // starting with '#' are skipped.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -29,14 +32,47 @@ using namespace xsketch;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  xsketch_cli build <doc> <sketch-file> [budget-kb]\n"
+               "  xsketch_cli build <doc> <sketch-file> [budget-kb] "
+               "[threads]\n"
                "  xsketch_cli estimate <doc> <sketch-file> <query>...\n"
                "  xsketch_cli batch <doc> <sketch-file> <workload-file> "
                "[threads]\n"
                "  xsketch_cli exact <doc> <query>...\n"
                "  xsketch_cli stats <doc>\n"
-               "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n");
+               "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n"
+               "[threads]: 0 = hardware concurrency (default)\n");
   return 2;
+}
+
+// Strict numeric argv parsing: the whole token must be a number in range.
+// (std::atoi/atof turn garbage into 0 silently — e.g. a mistyped thread
+// count would quietly select hardware concurrency.)
+bool ParseIntArg(const char* arg, const char* what, int min_value,
+                 int* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || v < min_value ||
+      v > INT_MAX) {
+    std::fprintf(stderr, "invalid %s '%s' (expected integer >= %d)\n",
+                 what, arg, min_value);
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseDoubleArg(const char* arg, const char* what, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || errno == ERANGE || !(v > 0)) {
+    std::fprintf(stderr, "invalid %s '%s' (expected number > 0)\n", what,
+                 arg);
+    return false;
+  }
+  *out = v;
+  return true;
 }
 
 bool LoadDoc(const std::string& spec, xml::Document* doc) {
@@ -44,7 +80,9 @@ bool LoadDoc(const std::string& spec, xml::Document* doc) {
   double scale = 0.1;  // CLI default: keep built-ins snappy
   if (size_t colon = spec.find(':'); colon != std::string::npos) {
     name = spec.substr(0, colon);
-    scale = std::atof(spec.c_str() + colon + 1);
+    if (!ParseDoubleArg(spec.c_str() + colon + 1, "scale", &scale)) {
+      return false;
+    }
   }
   if (name == "xmark") {
     *doc = data::GenerateXMark({.seed = 42, .scale = scale});
@@ -108,10 +146,19 @@ int main(int argc, char** argv) {
   if (cmd == "build") {
     if (argc < 4) return Usage();
     core::BuildOptions opts;
-    opts.budget_bytes =
-        argc > 4 ? static_cast<size_t>(std::atof(argv[4]) * 1024)
-                 : 50 * 1024;
-    core::TwigXSketch sketch = core::XBuild(doc, opts).Build();
+    opts.num_threads = 0;  // CLI default: use the whole machine
+    if (argc > 4) {
+      double budget_kb = 0.0;
+      if (!ParseDoubleArg(argv[4], "budget-kb", &budget_kb)) return 1;
+      opts.budget_bytes = static_cast<size_t>(budget_kb * 1024);
+    }
+    if (argc > 5 &&
+        !ParseIntArg(argv[5], "thread count", 0, &opts.num_threads)) {
+      return 1;
+    }
+    core::BuildStats bstats;
+    core::TwigXSketch sketch =
+        core::XBuild(doc, opts).Build({}, &bstats);
     util::Status st = core::SaveSketchToFile(sketch, argv[3]);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -120,6 +167,25 @@ int main(int argc, char** argv) {
     std::printf("built %.1f KB synopsis (%zu nodes) -> %s\n",
                 sketch.SizeBytes() / 1024.0,
                 sketch.synopsis().node_count(), argv[3]);
+    std::printf(
+        "build: %d refinements on %d threads in %.0f ms; "
+        "%lld candidates (%lld applicable, %lld scored)\n"
+        "scoring/iteration p50 %.1f ms, p95 %.1f ms; "
+        "final sample-workload error %.3f\n",
+        bstats.iterations, bstats.num_threads, bstats.wall_ms,
+        static_cast<long long>(bstats.candidates_generated),
+        static_cast<long long>(bstats.candidates_applicable),
+        static_cast<long long>(bstats.candidates_scored),
+        bstats.scoring_p50_ms, bstats.scoring_p95_ms, bstats.final_error);
+    std::printf("accepted:");
+    for (int k = 0; k < core::BuildStats::kNumKinds; ++k) {
+      std::printf(" %s %lld",
+                  core::RefinementKindName(
+                      static_cast<core::Refinement::Kind>(k)),
+                  static_cast<long long>(bstats.accepted_by_kind[
+                      static_cast<size_t>(k)]));
+    }
+    std::printf("\n");
     return 0;
   }
 
@@ -176,7 +242,10 @@ int main(int argc, char** argv) {
     }
 
     service::ServiceOptions opts;
-    opts.num_threads = argc > 5 ? std::atoi(argv[5]) : 0;
+    if (argc > 5 &&
+        !ParseIntArg(argv[5], "thread count", 0, &opts.num_threads)) {
+      return 1;
+    }
     auto svc = service::EstimationService::Create(std::move(sketch).value(),
                                                   opts);
     if (!svc.ok()) {

@@ -1,13 +1,33 @@
 #include "core/builder.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+#include <memory>
+#include <optional>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace xsketch::core {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Nearest-rank percentile of an unsorted sample (sorts in place).
+double Percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  return xs[static_cast<size_t>(std::llround(rank))];
+}
 
 // Elements of v whose parent lies in u (b-stabilize split set).
 std::vector<xml::NodeId> ElementsWithParentIn(const Synopsis& syn,
@@ -91,9 +111,23 @@ bool ApplyRefinement(TwigXSketch* sketch, const Refinement& r) {
   return false;
 }
 
+const char* RefinementKindName(Refinement::Kind kind) {
+  switch (kind) {
+    case Refinement::Kind::kBStabilize: return "b-stabilize";
+    case Refinement::Kind::kFStabilize: return "f-stabilize";
+    case Refinement::Kind::kEdgeRefine: return "edge-refine";
+    case Refinement::Kind::kEdgeExpand: return "edge-expand";
+    case Refinement::Kind::kValueRefine: return "value-refine";
+    case Refinement::Kind::kValueExpand: return "value-expand";
+  }
+  return "unknown";
+}
+
 XBuild::XBuild(const xml::Document& doc, const BuildOptions& options)
     : doc_(doc), options_(options) {
   // Fail fast on nonsensical sub-options instead of aborting mid-build.
+  XS_CHECK_MSG(options_.num_threads >= 0,
+               "BuildOptions::num_threads must be >= 0");
   const util::Status coarsest = options_.coarsest.Validate();
   XS_CHECK_MSG(coarsest.ok(), coarsest.ToString().c_str());
   const util::Status estimator = options_.estimator.Validate();
@@ -223,7 +257,8 @@ std::vector<Refinement> XBuild::GenerateCandidates(const TwigXSketch& sketch,
   return out;
 }
 
-TwigXSketch XBuild::Build(const StepCallback& on_step) {
+TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
+  const Clock::time_point build_start = Clock::now();
   TwigXSketch sketch = TwigXSketch::Coarsest(doc_, options_.coarsest);
   util::Rng rng(options_.seed);
 
@@ -235,50 +270,131 @@ TwigXSketch XBuild::Build(const StepCallback& on_step) {
   wopts.max_nodes = 6;
   wopts.existential_prob = options_.sample_existential_prob;
   wopts.value_pred_fraction = options_.sample_value_pred_fraction;
-  const query::Workload pool = query::GeneratePositiveWorkload(doc_, wopts);
+  const query::Workload sample = query::GeneratePositiveWorkload(doc_, wopts);
+
+  // Candidate scoring is embarrassingly parallel: every trial starts from
+  // a private copy of the current sketch and the sample workload is
+  // read-only. The workload-oblivious ablation takes the first applicable
+  // candidate without scoring, so there is nothing to fan out there.
+  const int num_threads = options_.num_threads > 0
+                              ? options_.num_threads
+                              : util::ThreadPool::HardwareThreads();
+  std::unique_ptr<util::ThreadPool> workers;
+  if (options_.score_candidates && num_threads > 1) {
+    workers = std::make_unique<util::ThreadPool>(num_threads);
+  }
+
+  BuildStats agg;
+  agg.num_threads = workers ? num_threads : 1;
+  std::vector<double> scoring_ms;
+
+  // Per-candidate scoring slot, filled independently (possibly on a
+  // worker) and reduced on the calling thread with index tie-breaks, so
+  // the accepted refinement never depends on scheduling.
+  struct Scored {
+    bool applicable = false;
+    double error_after = 0.0;
+    size_t size_after = 0;
+    std::optional<TwigXSketch> trial;
+  };
 
   int stall = 0;
   while (sketch.SizeBytes() < options_.budget_bytes && stall < 15) {
     const std::vector<Refinement> candidates =
         GenerateCandidates(sketch, rng);
     if (candidates.empty()) break;
+    agg.candidates_generated += static_cast<int64_t>(candidates.size());
 
     const size_t size_before = sketch.SizeBytes();
-    const double error_before =
-        options_.score_candidates
-            ? WorkloadError(sketch, pool, options_.estimator)
-            : 0.0;
 
-    double best_gain = -std::numeric_limits<double>::infinity();
-    bool have_best = false;
-    TwigXSketch best = sketch;
-    for (const Refinement& r : candidates) {
-      TwigXSketch trial = sketch;
-      if (!ApplyRefinement(&trial, r)) continue;
-      const size_t size_after = trial.SizeBytes();
-      if (size_after <= size_before) continue;
-      if (!options_.score_candidates) {
-        best = std::move(trial);
-        have_best = true;
+    if (!options_.score_candidates) {
+      bool accepted = false;
+      for (const Refinement& r : candidates) {
+        TwigXSketch trial = sketch;
+        if (!ApplyRefinement(&trial, r)) continue;
+        if (trial.SizeBytes() <= size_before) continue;
+        ++agg.candidates_applicable;
+        sketch = std::move(trial);
+        ++agg.iterations;
+        ++agg.accepted_by_kind[static_cast<size_t>(r.kind)];
+        accepted = true;
         break;  // workload-oblivious: take the first applicable candidate
       }
-      const double error_after =
-          WorkloadError(trial, pool, options_.estimator);
-      const double gain = (error_before - error_after) /
-                          static_cast<double>(size_after - size_before);
-      if (gain > best_gain) {
+      if (!accepted) {
+        ++stall;
+        continue;
+      }
+      stall = 0;
+      if (on_step) on_step(sketch, sketch.SizeBytes());
+      continue;
+    }
+
+    const Clock::time_point scoring_start = Clock::now();
+    double error_before = 0.0;
+    std::vector<Scored> scored(candidates.size());
+    auto score_one = [&](size_t i) {
+      TwigXSketch trial = sketch;
+      if (!ApplyRefinement(&trial, candidates[i])) return;
+      const size_t size_after = trial.SizeBytes();
+      if (size_after <= size_before) return;
+      scored[i].applicable = true;
+      scored[i].error_after =
+          WorkloadError(trial, sample, options_.estimator);
+      scored[i].size_after = size_after;
+      scored[i].trial.emplace(std::move(trial));
+    };
+    if (workers) {
+      util::TaskGroup group(workers.get());
+      group.Submit([&] {
+        error_before = WorkloadError(sketch, sample, options_.estimator);
+      });
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        group.Submit([&, i] { score_one(i); });
+      }
+      group.Wait();
+    } else {
+      error_before = WorkloadError(sketch, sample, options_.estimator);
+      for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
+    }
+    scoring_ms.push_back(MillisSince(scoring_start));
+
+    // Deterministic reduction: best gain wins, earliest candidate on ties.
+    int best_i = -1;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < scored.size(); ++i) {
+      if (!scored[i].applicable) continue;
+      ++agg.candidates_applicable;
+      ++agg.candidates_scored;
+      const double gain =
+          (error_before - scored[i].error_after) /
+          static_cast<double>(scored[i].size_after - size_before);
+      if (best_i < 0 || gain > best_gain) {
         best_gain = gain;
-        best = std::move(trial);
-        have_best = true;
+        best_i = static_cast<int>(i);
       }
     }
-    if (!have_best) {
+    if (best_i < 0) {
       ++stall;
       continue;
     }
     stall = 0;
-    sketch = std::move(best);
+    sketch = std::move(*scored[static_cast<size_t>(best_i)].trial);
+    ++agg.iterations;
+    ++agg.accepted_by_kind[static_cast<size_t>(
+        candidates[static_cast<size_t>(best_i)].kind)];
     if (on_step) on_step(sketch, sketch.SizeBytes());
+  }
+
+  if (stats != nullptr) {
+    agg.scoring_p50_ms = Percentile(scoring_ms, 0.50);
+    agg.scoring_p95_ms = Percentile(scoring_ms, 0.95);
+    agg.wall_ms = MillisSince(build_start);
+    agg.final_size_bytes = sketch.SizeBytes();
+    agg.final_error =
+        options_.score_candidates
+            ? WorkloadError(sketch, sample, options_.estimator)
+            : 0.0;
+    *stats = agg;
   }
   return sketch;
 }

@@ -23,6 +23,7 @@
 #ifndef XSKETCH_CORE_BUILDER_H_
 #define XSKETCH_CORE_BUILDER_H_
 
+#include <array>
 #include <functional>
 
 #include "core/estimator.h"
@@ -34,6 +35,13 @@ namespace xsketch::core {
 struct BuildOptions {
   size_t budget_bytes = 50 * 1024;
   uint64_t seed = 99;
+
+  // Worker threads scoring candidate refinements in parallel. 0 picks the
+  // hardware concurrency; 1 keeps everything on the calling thread. The
+  // built sketch is bit-identical at every thread count (each candidate is
+  // scored independently against the same base sketch, and ties break on
+  // candidate index).
+  int num_threads = 1;
 
   // Candidate refinements evaluated per iteration.
   int candidates_per_iteration = 10;
@@ -88,6 +96,30 @@ struct Refinement {
 // contains the dimension).
 bool ApplyRefinement(TwigXSketch* sketch, const Refinement& r);
 
+// Short display name of a refinement kind ("b-stabilize", "edge-refine", ...).
+const char* RefinementKindName(Refinement::Kind kind);
+
+// Aggregate observability for one XBuild::Build run.
+struct BuildStats {
+  static constexpr int kNumKinds = 6;  // Refinement::Kind cardinality
+
+  int num_threads = 0;       // resolved scoring worker count
+  int iterations = 0;        // accepted refinements
+  int64_t candidates_generated = 0;
+  int64_t candidates_applicable = 0;  // applied cleanly and grew the sketch
+  int64_t candidates_scored = 0;      // sample-workload evaluations of trials
+  // Accepted refinements by kind, indexed by Refinement::Kind.
+  std::array<int64_t, kNumKinds> accepted_by_kind = {};
+  // Per-iteration candidate-scoring wall time (the parallelized section).
+  double scoring_p50_ms = 0.0;
+  double scoring_p95_ms = 0.0;
+  double wall_ms = 0.0;      // end-to-end Build wall time
+  size_t final_size_bytes = 0;
+  // Final sketch error on the internal sample workload (the quantity the
+  // greedy search minimizes); 0 when score_candidates is off.
+  double final_error = 0.0;
+};
+
 class XBuild {
  public:
   XBuild(const xml::Document& doc, const BuildOptions& options);
@@ -97,7 +129,10 @@ class XBuild {
   using StepCallback =
       std::function<void(const TwigXSketch& sketch, size_t size_bytes)>;
 
-  TwigXSketch Build(const StepCallback& on_step = StepCallback());
+  // Runs the greedy search. When `stats` is non-null it receives the
+  // run's aggregate observability.
+  TwigXSketch Build(const StepCallback& on_step = StepCallback(),
+                    BuildStats* stats = nullptr);
 
   // Average relative error of `sketch` on `workload` (exposed for benches
   // and tests; uses the paper's sanity-bounded metric).

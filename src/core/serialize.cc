@@ -8,11 +8,16 @@ namespace xsketch::core {
 
 namespace {
 
-constexpr char kMagic[4] = {'X', 'S', 'K', '1'};
+// Format XSK2: every u32 is explicit little-endian, so sketches move
+// between hosts of any endianness. XSK1 (host-endian words) is rejected.
+constexpr char kMagic[4] = {'X', 'S', 'K', '2'};
+constexpr char kLegacyMagic[4] = {'X', 'S', 'K', '1'};
 
 void PutU32(std::string& out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
+  const char buf[4] = {static_cast<char>(v & 0xFF),
+                       static_cast<char>((v >> 8) & 0xFF),
+                       static_cast<char>((v >> 16) & 0xFF),
+                       static_cast<char>((v >> 24) & 0xFF)};
   out.append(buf, 4);
 }
 
@@ -34,7 +39,11 @@ class Reader {
 
   bool GetU32(uint32_t* v) {
     if (pos_ + 4 > bytes_.size()) return false;
-    std::memcpy(v, bytes_.data() + pos_, 4);
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes_.data()) + pos_;
+    *v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
     pos_ += 4;
     return true;
   }
@@ -98,6 +107,12 @@ std::string SaveSketch(const TwigXSketch& sketch) {
 util::Result<TwigXSketch> LoadSketch(const std::string& bytes,
                                      const xml::Document& doc) {
   Reader reader(bytes);
+  if (bytes.size() >= 4 &&
+      std::memcmp(bytes.data(), kLegacyMagic, 4) == 0) {
+    return util::Status::ParseError(
+        "legacy host-endian XSK1 sketch; rebuild and re-save in the "
+        "portable XSK2 format");
+  }
   if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
     return util::Status::ParseError("not a Twig XSKETCH file");
   }

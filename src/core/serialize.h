@@ -7,9 +7,12 @@
 // stabilities and histogram contents from the document, which is fast and
 // keeps the on-disk format independent of histogram internals.
 //
-// The format is versioned and self-describing enough to fail cleanly on
+// The format (magic "XSK2") is versioned, byte-portable — every word is
+// explicit little-endian, so a sketch saved on a big-endian host loads
+// anywhere — and self-describing enough to fail cleanly on truncated or
 // corrupt input or on a document that does not match the saved partition
-// (sizes and tag names are checked).
+// (sizes and tag names are checked). Legacy host-endian "XSK1" files are
+// rejected with a rebuild hint.
 
 #ifndef XSKETCH_CORE_SERIALIZE_H_
 #define XSKETCH_CORE_SERIALIZE_H_

@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <charconv>
+#include <limits>
 #include <map>
 #include <string>
+#include <system_error>
 #include <vector>
 
 namespace xsketch::query {
@@ -129,17 +131,31 @@ class PathParser {
     if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
     while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     if (pos_ == start) return Err("expected number");
+    // std::from_chars rejects a leading '+', so strip it first.
+    const size_t digits = in_[start] == '+' ? start + 1 : start;
     int64_t value = 0;
-    std::from_chars(in_.data() + start, in_.data() + pos_, value);
+    const auto parsed =
+        std::from_chars(in_.data() + digits, in_.data() + pos_, value);
+    if (parsed.ec != std::errc() || parsed.ptr != in_.data() + pos_) {
+      return Err("integer literal '" +
+                 std::string(in_.substr(start, pos_ - start)) +
+                 "' does not fit in int64");
+    }
 
     ValuePredicate pred;
     if (op == "=" || op == "==") {
       pred.lo = pred.hi = value;
     } else if (op == ">") {
+      if (value == std::numeric_limits<int64_t>::max()) {
+        return Err("'>' bound overflows int64");
+      }
       pred.lo = value + 1;
     } else if (op == ">=") {
       pred.lo = value;
     } else if (op == "<") {
+      if (value == std::numeric_limits<int64_t>::min()) {
+        return Err("'<' bound overflows int64");
+      }
       pred.hi = value - 1;
     } else if (op == "<=") {
       pred.hi = value;

@@ -57,4 +57,31 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  XS_CHECK(pool != nullptr);
+}
+
+TaskGroup::~TaskGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  XS_CHECK_MSG(pending_ == 0, "TaskGroup destroyed with unfinished tasks");
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  XS_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) all_done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 }  // namespace xsketch::util

@@ -12,6 +12,7 @@
 #define XSKETCH_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -51,6 +52,32 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;  // guarded by mu_
   bool shutting_down_ = false;               // guarded by mu_
   std::vector<std::thread> workers_;
+};
+
+// Fork/join over a subset of a pool's tasks: Submit fans work out, Wait
+// blocks until every task submitted *through this group* has finished.
+// Reusable after Wait; other clients of the same pool are unaffected.
+// Destroying a group with unfinished tasks is a checked programming error
+// (tasks capture the group's counter).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Enqueues `task` on the pool; Wait will cover it.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has run.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable all_done_;
+  size_t pending_ = 0;  // guarded by mu_
 };
 
 }  // namespace xsketch::util

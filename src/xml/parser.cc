@@ -28,13 +28,15 @@ class Parser {
       : in_(input), options_(options) {}
 
   util::Result<Document> Run() {
-    SkipProlog();
+    util::Status st = SkipProlog();
+    if (!st.ok()) return st;
     if (eof() || peek() != '<') {
       return Err("expected root element");
     }
-    util::Status st = ParseElement(kInvalidNode);
+    st = ParseElement(kInvalidNode);
     if (!st.ok()) return st;
-    SkipMisc();
+    st = SkipMisc();
+    if (!st.ok()) return st;
     if (!eof()) return Err("trailing content after root element");
     doc_.Seal();
     return std::move(doc_);
@@ -67,35 +69,42 @@ class Parser {
     return util::Status::OK();
   }
 
-  void SkipProlog() {
+  // Both skippers propagate SkipUntil failures: an unterminated construct
+  // never advances pos_, so swallowing the error would loop forever.
+  util::Status SkipProlog() {
     for (;;) {
       SkipSpace();
       if (Lookahead("<?xml") || Lookahead("<?")) {
-        (void)SkipUntil("?>");
+        util::Status st = SkipUntil("?>");
+        if (!st.ok()) return st;
       } else if (Lookahead("<!--")) {
-        (void)SkipUntil("-->");
+        util::Status st = SkipUntil("-->");
+        if (!st.ok()) return st;
       } else if (Lookahead("<!DOCTYPE")) {
-        SkipDoctype();
+        util::Status st = SkipDoctype();
+        if (!st.ok()) return st;
       } else {
-        return;
+        return util::Status::OK();
       }
     }
   }
 
-  void SkipMisc() {
+  util::Status SkipMisc() {
     for (;;) {
       SkipSpace();
       if (Lookahead("<!--")) {
-        (void)SkipUntil("-->");
+        util::Status st = SkipUntil("-->");
+        if (!st.ok()) return st;
       } else if (Lookahead("<?")) {
-        (void)SkipUntil("?>");
+        util::Status st = SkipUntil("?>");
+        if (!st.ok()) return st;
       } else {
-        return;
+        return util::Status::OK();
       }
     }
   }
 
-  void SkipDoctype() {
+  util::Status SkipDoctype() {
     // DOCTYPE may contain a bracketed internal subset.
     int bracket_depth = 0;
     while (!eof()) {
@@ -105,9 +114,10 @@ class Parser {
       } else if (c == ']') {
         --bracket_depth;
       } else if (c == '>' && bracket_depth <= 0) {
-        return;
+        return util::Status::OK();
       }
     }
+    return Err("unterminated DOCTYPE");
   }
 
   std::string_view ParseName() {

@@ -7,9 +7,10 @@
 //   data::      built-in generators (bibliography, XMark, IMDB, SwissProt)
 //   query::     TwigQuery, ParsePath / ParseForClause, ExactEvaluator,
 //               workload generation
-//   core::      BuildOptions + XBuild, TwigXSketch (+ Coarsest),
+//   core::      BuildOptions + XBuild (parallel candidate scoring,
+//               BuildStats observability), TwigXSketch (+ Coarsest),
 //               Estimator (Estimate / EstimateWithStats / EstimateChecked),
-//               Save/LoadSketch
+//               Save/LoadSketch (little-endian XSK2 format)
 //   service::   EstimationService — the concurrent batch estimation engine
 //   util::      Status / Result, ThreadPool
 //

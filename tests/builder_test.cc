@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/builder.h"
+#include "core/serialize.h"
 #include "data/figures.h"
 #include "data/imdb.h"
 #include "query/workload.h"
@@ -205,6 +206,104 @@ TEST(XBuildTest, BackwardCountsCanBeEnabled) {
   const double err = XBuild::WorkloadError(sketch, w);
   EXPECT_GE(err, 0.0);
   EXPECT_TRUE(std::isfinite(err));
+}
+
+// --- Parallel candidate scoring ---------------------------------------------------
+
+TEST(XBuildParallelTest, ParallelBuildBitIdenticalToSequential) {
+  xml::Document doc = data::GenerateImdb({.seed = 12, .scale = 0.05});
+  BuildOptions opts;
+  opts.budget_bytes =
+      TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + 4096;
+  opts.seed = 5;
+  opts.candidates_per_iteration = 8;
+  opts.sample_queries = 12;
+  opts.allow_backward_counts = true;
+  opts.allow_value_correlation = true;
+
+  opts.num_threads = 1;
+  BuildStats seq_stats;
+  TwigXSketch sequential = XBuild(doc, opts).Build({}, &seq_stats);
+
+  for (int threads : {2, 4}) {
+    opts.num_threads = threads;
+    BuildStats par_stats;
+    TwigXSketch parallel = XBuild(doc, opts).Build({}, &par_stats);
+    EXPECT_EQ(SaveSketch(parallel), SaveSketch(sequential)) << threads;
+    EXPECT_EQ(par_stats.iterations, seq_stats.iterations) << threads;
+    EXPECT_EQ(par_stats.accepted_by_kind, seq_stats.accepted_by_kind)
+        << threads;
+    EXPECT_EQ(par_stats.num_threads, threads);
+  }
+  EXPECT_EQ(seq_stats.num_threads, 1);
+}
+
+TEST(XBuildParallelTest, HardwareConcurrencyDefaultMatchesSequential) {
+  xml::Document doc = data::GenerateImdb({.seed = 13, .scale = 0.03});
+  BuildOptions opts;
+  opts.budget_bytes =
+      TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + 2048;
+  opts.seed = 21;
+  opts.candidates_per_iteration = 6;
+  opts.sample_queries = 10;
+
+  opts.num_threads = 1;
+  TwigXSketch sequential = XBuild(doc, opts).Build();
+  opts.num_threads = 0;  // hardware concurrency
+  TwigXSketch parallel = XBuild(doc, opts).Build();
+  EXPECT_EQ(SaveSketch(parallel), SaveSketch(sequential));
+}
+
+TEST(XBuildStatsTest, StatsAreConsistent) {
+  xml::Document doc = data::GenerateImdb({.seed = 14, .scale = 0.04});
+  BuildOptions opts;
+  opts.budget_bytes =
+      TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + 3072;
+  opts.seed = 9;
+  opts.candidates_per_iteration = 6;
+  opts.sample_queries = 10;
+  opts.num_threads = 2;
+
+  BuildStats stats;
+  TwigXSketch sketch = XBuild(doc, opts).Build({}, &stats);
+
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_EQ(stats.final_size_bytes, sketch.SizeBytes());
+  EXPECT_GT(stats.candidates_generated, 0);
+  EXPECT_GE(stats.candidates_generated, stats.candidates_applicable);
+  EXPECT_EQ(stats.candidates_scored, stats.candidates_applicable);
+  int64_t accepted = 0;
+  for (int64_t c : stats.accepted_by_kind) accepted += c;
+  EXPECT_EQ(accepted, stats.iterations);
+  EXPECT_LE(stats.iterations, stats.candidates_applicable);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GE(stats.scoring_p95_ms, stats.scoring_p50_ms);
+  EXPECT_GE(stats.final_error, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.final_error));
+}
+
+TEST(XBuildStatsTest, UnscoredBuildCountsFirstApplicable) {
+  xml::Document doc = data::GenerateImdb({.seed = 15, .scale = 0.03});
+  BuildOptions opts;
+  opts.budget_bytes =
+      TwigXSketch::Coarsest(doc, opts.coarsest).SizeBytes() + 1024;
+  opts.seed = 4;
+  opts.score_candidates = false;
+  opts.num_threads = 4;  // ignored: nothing to score in the ablation
+
+  BuildStats stats;
+  XBuild(doc, opts).Build({}, &stats);
+  EXPECT_EQ(stats.num_threads, 1);
+  EXPECT_EQ(stats.candidates_scored, 0);
+  EXPECT_EQ(stats.final_error, 0.0);
+  EXPECT_GT(stats.iterations, 0);
+}
+
+TEST(RefinementKindNameTest, AllKindsNamed) {
+  for (int k = 0; k < BuildStats::kNumKinds; ++k) {
+    EXPECT_STRNE(RefinementKindName(static_cast<Refinement::Kind>(k)),
+                 "unknown");
+  }
 }
 
 TEST(XBuildTest, StopsOnFullyStableDocument) {

@@ -192,6 +192,52 @@ TEST_F(XPathParserTest, EmptyAndMalformedInputsFail) {
   EXPECT_FALSE(ParseForClause("for", doc_.tags()).ok());
 }
 
+// Regression: the std::from_chars result used to be ignored, so an
+// out-of-range literal silently became a partial/zero bound.
+TEST_F(XPathParserTest, OutOfRangeLiteralsFail) {
+  for (const char* expr :
+       {"//year[.=99999999999999999999]",    // > INT64_MAX
+        "//year[.=-99999999999999999999]",   // < INT64_MIN
+        "//year[.<123456789012345678901234567890]"}) {
+    auto r = ParsePath(expr, doc_.tags());
+    ASSERT_FALSE(r.ok()) << expr;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kParseError) << expr;
+  }
+}
+
+TEST_F(XPathParserTest, ComparisonBoundOverflowFails) {
+  // value+1 / value-1 would wrap around int64.
+  EXPECT_FALSE(ParsePath("//year[.>9223372036854775807]", doc_.tags()).ok());
+  EXPECT_FALSE(
+      ParsePath("//year[.<-9223372036854775808]", doc_.tags()).ok());
+  // The inclusive operators at the same bounds are representable.
+  auto ge = ParsePath("//year[.>=9223372036854775807]", doc_.tags());
+  ASSERT_TRUE(ge.ok()) << ge.status().ToString();
+  auto le = ParsePath("//year[.<=-9223372036854775808]", doc_.tags());
+  ASSERT_TRUE(le.ok()) << le.status().ToString();
+}
+
+TEST_F(XPathParserTest, Int64ExtremesParseExactly) {
+  auto r = ParsePath("//year[.=9223372036854775807]", doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  bool found = false;
+  for (int i = 0; i < r.value().size(); ++i) {
+    if (r.value().node(i).pred.has_value()) {
+      EXPECT_EQ(r.value().node(i).pred->lo, INT64_MAX);
+      EXPECT_EQ(r.value().node(i).pred->hi, INT64_MAX);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(XPathParserTest, ExplicitPlusSignParses) {
+  auto r = ParsePath("//year[.=+1999]", doc_.tags());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(ParsePath("//year[.=+]", doc_.tags()).ok());
+  EXPECT_FALSE(ParsePath("//year[.=-]", doc_.tags()).ok());
+}
+
 // --- Exact evaluator ----------------------------------------------------------------
 
 class EvaluatorTest : public ::testing::Test {

@@ -10,7 +10,8 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-TARGETS=(service_test estimator_test)
+# builder_test covers the parallel XBUILD candidate-scoring path.
+TARGETS=(service_test estimator_test builder_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do

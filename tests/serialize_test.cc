@@ -76,16 +76,49 @@ TEST(SerializeTest, RejectsCorruptInput) {
 
   EXPECT_FALSE(LoadSketch("", doc).ok());
   EXPECT_FALSE(LoadSketch("garbage", doc).ok());
-  // Truncations at every prefix length must fail cleanly, never crash.
-  for (size_t len = 0; len < bytes.size(); len += 7) {
-    EXPECT_FALSE(LoadSketch(bytes.substr(0, len), doc).ok()) << len;
-  }
   // Trailing junk is rejected.
   EXPECT_FALSE(LoadSketch(bytes + "x", doc).ok());
   // Flipped magic is rejected.
   std::string bad = bytes;
   bad[0] = 'Y';
   EXPECT_FALSE(LoadSketch(bad, doc).ok());
+}
+
+TEST(SerializeTest, RejectsTruncationAtEveryByte) {
+  // Every strict prefix cuts some field short (the tail is length-counted,
+  // so no prefix is a complete file): each must fail cleanly, never crash.
+  xml::Document doc = data::GenerateImdb({.seed = 31, .scale = 0.03});
+  const std::string bytes = SaveSketch(BuildRefined(doc, 2048));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(LoadSketch(bytes.substr(0, len), doc).ok()) << len;
+  }
+}
+
+TEST(SerializeTest, FormatIsExplicitLittleEndian) {
+  // Byte-level pin of the XSK2 header so an accidental return to
+  // host-endian words fails on any platform: magic, then the document
+  // element count as a little-endian u32.
+  xml::Document doc = data::MakeBibliography();
+  const std::string bytes = SaveSketch(TwigXSketch::Coarsest(doc));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 4), "XSK2");
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data()) + 4;
+  const uint32_t doc_size = static_cast<uint32_t>(p[0]) |
+                            static_cast<uint32_t>(p[1]) << 8 |
+                            static_cast<uint32_t>(p[2]) << 16 |
+                            static_cast<uint32_t>(p[3]) << 24;
+  EXPECT_EQ(doc_size, doc.size());
+}
+
+TEST(SerializeTest, RejectsLegacyXsk1WithClearError) {
+  xml::Document doc = data::MakeBibliography();
+  std::string bytes = SaveSketch(TwigXSketch::Coarsest(doc));
+  bytes[3] = '1';  // pretend it was saved by the host-endian XSK1 writer
+  auto r = LoadSketch(bytes, doc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("XSK1"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(SerializeTest, FileRoundTrip) {

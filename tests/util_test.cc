@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_interner.h"
+#include "util/thread_pool.h"
 
 namespace xsketch::util {
 namespace {
@@ -208,6 +210,51 @@ TEST(InternerTest, EmptyStringIsValid) {
   uint32_t id = interner.Intern("");
   EXPECT_EQ(interner.Get(id), "");
   EXPECT_EQ(interner.Lookup(""), id);
+}
+
+// --- TaskGroup ---------------------------------------------------------------
+
+TEST(TaskGroupTest, WaitCoversEverySubmittedTask) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&done] { ++done; });
+  }
+  group.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(TaskGroupTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) group.Submit([&done] { ++done; });
+    group.Wait();
+    EXPECT_EQ(done.load(), (round + 1) * 10);
+  }
+}
+
+TEST(TaskGroupTest, GroupsOnOnePoolAreIndependent) {
+  ThreadPool pool(4);
+  TaskGroup a(&pool);
+  TaskGroup b(&pool);
+  std::atomic<int> a_done{0}, b_done{0};
+  for (int i = 0; i < 20; ++i) {
+    a.Submit([&a_done] { ++a_done; });
+    b.Submit([&b_done] { ++b_done; });
+  }
+  a.Wait();
+  EXPECT_EQ(a_done.load(), 20);
+  b.Wait();
+  EXPECT_EQ(b_done.load(), 20);
+}
+
+TEST(TaskGroupTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  group.Wait();
 }
 
 }  // namespace

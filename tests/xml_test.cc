@@ -11,6 +11,42 @@ namespace {
 
 // --- Document construction -----------------------------------------------------
 
+// Regression: SkipProlog/SkipMisc used to discard SkipUntil's failure
+// status, so an unterminated prolog construct never advanced the cursor
+// and Parse spun forever. Each of these must return ParseError promptly.
+TEST(ParserHardeningTest, UnterminatedPrologFailsInsteadOfHanging) {
+  const char* inputs[] = {
+      "<?xml version=\"1.0\"",         // unterminated XML declaration
+      "<?xml version=\"1.0\"?",        // terminator cut mid-way
+      "<?target data with no close",   // unterminated prolog PI
+      "<!-- comment with no close",    // unterminated prolog comment
+      "  <!-- open --><?pi",           // terminated comment, then open PI
+      "<!DOCTYPE r [ <!ELEMENT r",     // unterminated DOCTYPE subset
+  };
+  for (const char* input : inputs) {
+    auto r = ParseDocument(input);
+    ASSERT_FALSE(r.ok()) << input;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kParseError) << input;
+  }
+}
+
+TEST(ParserHardeningTest, UnterminatedTrailingMiscFails) {
+  for (const char* input : {"<r/><!-- trailing", "<r/><?trailing"}) {
+    auto r = ParseDocument(input);
+    ASSERT_FALSE(r.ok()) << input;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kParseError) << input;
+  }
+}
+
+TEST(ParserHardeningTest, TerminatedPrologAndMiscStillParse) {
+  auto r = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- ok --><?pi data?>"
+      "<!DOCTYPE r [<!ELEMENT r EMPTY>]>"
+      "<r><a/></r><!-- tail --><?pi2?>  ");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
 TEST(DocumentTest, BuildSmallTree) {
   Document doc;
   NodeId root = doc.AddNode(kInvalidNode, "bib");
