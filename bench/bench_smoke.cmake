@@ -1,0 +1,16 @@
+# ctest driver for the bench --smoke modes: runs both perf binaries on
+# tiny inputs and fails if either assert-only pass fails. Invoked as
+#   cmake -DPERF_BATCH=<path> -DPERF_BUILD=<path> -P bench_smoke.cmake
+
+foreach(bin IN ITEMS "${PERF_BATCH}" "${PERF_BUILD}")
+  if(NOT EXISTS "${bin}")
+    message(FATAL_ERROR "bench_smoke: missing binary '${bin}'")
+  endif()
+  execute_process(COMMAND "${bin}" --smoke RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_smoke: '${bin} --smoke' failed (${rc})\n${out}${err}")
+  endif()
+  message(STATUS "${out}")
+endforeach()

@@ -9,6 +9,11 @@
 //
 // Scale knobs (see bench_common.h): XS_BENCH_SCALE, XS_BENCH_QUERIES,
 // plus XS_BENCH_BATCH_REPEATS (default 3) timed repetitions per row.
+//
+// --smoke: assert-only correctness pass on tiny inputs (no timing
+// claims) — bit-identity against the sequential baseline plus BatchStats
+// sanity invariants. Wired into ctest as part of bench_smoke so the
+// bench harness itself cannot rot unnoticed.
 
 #include <algorithm>
 #include <chrono>
@@ -29,10 +34,14 @@ double SecondsSince(Clock::time_point start) {
 
 }  // namespace
 
-int main() {
-  const bench::DataSet data = bench::MakeXMark();
-  const int num_queries = bench::BenchQueries();
-  const int repeats = bench::EnvInt("XS_BENCH_BATCH_REPEATS", 3);
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bench::DataSet data =
+      smoke ? bench::DataSet{"XMark",
+                             data::GenerateXMark({.seed = 42, .scale = 0.02})}
+            : bench::MakeXMark();
+  const int num_queries = smoke ? 40 : bench::BenchQueries();
+  const int repeats = smoke ? 1 : bench::EnvInt("XS_BENCH_BATCH_REPEATS", 3);
 
   query::WorkloadOptions wopts;
   wopts.seed = 55;
@@ -52,9 +61,11 @@ int main() {
   }
 
   core::TwigXSketch sketch = core::TwigXSketch::Coarsest(data.doc);
-  std::printf("# %s scale=%.2f, %zu queries, coarsest synopsis %.1f KB\n",
-              data.name.c_str(), bench::BenchScale(), queries.size(),
-              sketch.SizeBytes() / 1024.0);
+  if (!smoke) {
+    std::printf("# %s scale=%.2f, %zu queries, coarsest synopsis %.1f KB\n",
+                data.name.c_str(), bench::BenchScale(), queries.size(),
+                sketch.SizeBytes() / 1024.0);
+  }
 
   // Sequential baseline: one-at-a-time EstimateWithStats, fresh estimator
   // (cold path cache) per timed repetition, best-of-repeats.
@@ -73,9 +84,13 @@ int main() {
     seq_best = std::max(seq_best, qps);
     if (r == 0) expected = std::move(run);
   }
-  std::printf("%-12s %12.0f q/s   (baseline)\n", "sequential", seq_best);
+  if (!smoke) {
+    std::printf("%-12s %12.0f q/s   (baseline)\n", "sequential", seq_best);
+  }
 
-  for (int threads : {1, 2, 4, 8}) {
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : thread_counts) {
     service::ServiceOptions opts;
     opts.num_threads = threads;
     double best = 0.0;
@@ -101,6 +116,23 @@ int main() {
         }
       }
     }
+    if (smoke) {
+      // Assert-only: bit-identity plus BatchStats internal consistency.
+      if (mismatches != 0 || stats.queries != queries.size() ||
+          stats.p50_latency_us > stats.p95_latency_us ||
+          stats.cache_hits > stats.cache_lookups) {
+        std::fprintf(stderr,
+                     "perf_batch --smoke FAILED at %d threads: "
+                     "%zu mismatches, %zu/%zu queries, p50 %.1f p95 %.1f, "
+                     "cache %llu/%llu\n",
+                     threads, mismatches, stats.queries, queries.size(),
+                     stats.p50_latency_us, stats.p95_latency_us,
+                     static_cast<unsigned long long>(stats.cache_hits),
+                     static_cast<unsigned long long>(stats.cache_lookups));
+        return 1;
+      }
+      continue;
+    }
     std::printf(
         "%2d threads   %12.0f q/s   %5.2fx   p50 %6.1f us  p95 %6.1f us  "
         "cache %5.1f%%   %s\n",
@@ -109,5 +141,6 @@ int main() {
         mismatches == 0 ? "bit-identical" : "MISMATCH");
     if (mismatches != 0) return 1;
   }
+  if (smoke) std::printf("perf_batch --smoke OK\n");
   return 0;
 }

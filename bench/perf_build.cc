@@ -9,6 +9,10 @@
 // and byte-identical serialized sketches.
 //
 // Scale knobs (see bench_common.h): XS_BENCH_SCALE, XS_BENCH_BUDGET.
+//
+// --smoke: assert-only determinism pass on a tiny document and budget —
+// byte-identical sketches across thread counts, no timing output. Part of
+// the bench_smoke ctest entry.
 
 #include <array>
 #include <cstdio>
@@ -25,26 +29,35 @@ using namespace xsketch;
 
 }  // namespace
 
-int main() {
-  const bench::DataSet data = bench::MakeXMark();
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::string(argv[1]) == std::string("--smoke");
+  const bench::DataSet data =
+      smoke ? bench::DataSet{"XMark",
+                             data::GenerateXMark({.seed = 42, .scale = 0.02})}
+            : bench::MakeXMark();
 
   core::BuildOptions opts;
-  opts.budget_bytes = bench::BenchBudgetBytes();
+  opts.budget_bytes = smoke ? 8 * 1024 : bench::BenchBudgetBytes();
 
-  // Speedup is bounded by the machine: a 4-thread build cannot beat a
-  // sequential one on fewer than 4 hardware threads, so print the cap.
-  std::printf("# %s scale=%.2f, %zu elements, budget %.0f KB, "
-              "%d hardware threads\n",
-              data.name.c_str(), bench::BenchScale(), data.doc.size(),
-              opts.budget_bytes / 1024.0,
-              util::ThreadPool::HardwareThreads());
+  if (!smoke) {
+    // Speedup is bounded by the machine: a 4-thread build cannot beat a
+    // sequential one on fewer than 4 hardware threads, so print the cap.
+    std::printf("# %s scale=%.2f, %zu elements, budget %.0f KB, "
+                "%d hardware threads\n",
+                data.name.c_str(), bench::BenchScale(), data.doc.size(),
+                opts.budget_bytes / 1024.0,
+                util::ThreadPool::HardwareThreads());
+  }
 
   std::string baseline_bytes;
   std::vector<size_t> baseline_steps;
   std::array<int64_t, core::BuildStats::kNumKinds> baseline_kinds = {};
   double baseline_ms = 0.0;
 
-  for (int threads : {1, 2, 4, 8}) {
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int threads : thread_counts) {
     opts.num_threads = threads;
     core::BuildStats stats;
     std::vector<size_t> steps;
@@ -63,6 +76,19 @@ int main() {
     const bool identical = bytes == baseline_bytes &&
                            steps == baseline_steps &&
                            stats.accepted_by_kind == baseline_kinds;
+    if (smoke) {
+      if (!identical || stats.iterations < 1 ||
+          stats.scoring_p50_ms > stats.scoring_p95_ms) {
+        std::fprintf(stderr,
+                     "perf_build --smoke FAILED at %d threads: %s, "
+                     "%d refinements, scoring p50 %.1f p95 %.1f\n",
+                     threads, identical ? "identical" : "MISMATCH",
+                     stats.iterations, stats.scoring_p50_ms,
+                     stats.scoring_p95_ms);
+        return 1;
+      }
+      continue;
+    }
     std::printf(
         "%2d threads   %8.0f ms   %5.2fx   %3d refinements   "
         "scoring p50 %6.1f ms  p95 %6.1f ms   err %.3f   %s\n",
@@ -71,5 +97,6 @@ int main() {
         stats.final_error, identical ? "bit-identical" : "MISMATCH");
     if (!identical) return 1;
   }
+  if (smoke) std::printf("perf_build --smoke OK\n");
   return 0;
 }

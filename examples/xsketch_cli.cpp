@@ -3,7 +3,10 @@
 //   xsketch_cli build   <doc> <sketch-file> [budget-kb] [threads]
 //                                          parallel build + save
 //   xsketch_cli estimate <doc> <sketch-file> <query>...   load + estimate
+//   xsketch_cli explain <doc> <sketch-file> <query>... [--json]
+//                                          per-query estimation trace
 //   xsketch_cli batch   <doc> <sketch-file> <workload-file> [threads]
+//                       [--audit FRACTION] [--metrics]
 //                                          parallel batch estimation
 //   xsketch_cli exact    <doc> <query>...                 ground truth
 //   xsketch_cli stats    <doc>                            document summary
@@ -35,12 +38,18 @@ int Usage() {
                "  xsketch_cli build <doc> <sketch-file> [budget-kb] "
                "[threads]\n"
                "  xsketch_cli estimate <doc> <sketch-file> <query>...\n"
+               "  xsketch_cli explain <doc> <sketch-file> <query>... "
+               "[--json]\n"
                "  xsketch_cli batch <doc> <sketch-file> <workload-file> "
-               "[threads]\n"
+               "[threads] [--audit FRACTION] [--metrics]\n"
                "  xsketch_cli exact <doc> <query>...\n"
                "  xsketch_cli stats <doc>\n"
                "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n"
-               "[threads]: 0 = hardware concurrency (default)\n");
+               "[threads]: 0 = hardware concurrency (default)\n"
+               "--audit: exactly evaluate a sampled fraction of the batch "
+               "and report relative error\n"
+               "--metrics: dump the process metrics registry "
+               "(Prometheus text) after the batch\n");
   return 2;
 }
 
@@ -213,6 +222,61 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cmd == "explain") {
+    if (argc < 5) return Usage();
+    auto sketch = core::LoadSketchFromFile(argv[3], doc);
+    if (!sketch.ok()) {
+      std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+      return 1;
+    }
+    bool json = false;
+    std::vector<const char*> query_args;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        json = true;
+      } else {
+        query_args.push_back(argv[i]);
+      }
+    }
+    if (query_args.empty()) return Usage();
+    core::Estimator est(sketch.value());
+    int rc = 0;
+    for (const char* arg : query_args) {
+      auto twig = ParseQuery(arg, doc);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      obs::ExplainTrace trace;
+      const core::EstimateStats stats =
+          est.EstimateWithTrace(twig.value(), &trace);
+      // The trace must reproduce the estimator bit for bit: both the
+      // recorded root value and the re-derived sum/product tree.
+      const double plain = est.Estimate(twig.value());
+      if (trace.estimate() != plain || trace.Recompute() != plain) {
+        std::fprintf(stderr,
+                     "trace mismatch for '%s': Estimate() %.17g, trace "
+                     "%.17g, recompute %.17g\n",
+                     arg, plain, trace.estimate(), trace.Recompute());
+        rc = 1;
+      }
+      if (json) {
+        std::printf("%s\n", trace.ToJson().c_str());
+      } else {
+        std::printf("%s  (estimate %.6g)\n", arg, stats.estimate);
+        std::printf("%s", trace.ToText().c_str());
+        std::printf(
+            "terms: E %d, U %d, D %d, value %d, existential %d, '//' "
+            "chains %d\n\n",
+            stats.covered_terms, stats.uniformity_terms,
+            stats.conditioned_nodes, stats.value_fractions,
+            stats.existential_terms, stats.descendant_chains);
+      }
+    }
+    return rc;
+  }
+
   if (cmd == "batch") {
     if (argc < 5) return Usage();
     auto sketch = core::LoadSketchFromFile(argv[3], doc);
@@ -242,9 +306,24 @@ int main(int argc, char** argv) {
     }
 
     service::ServiceOptions opts;
-    if (argc > 5 &&
-        !ParseIntArg(argv[5], "thread count", 0, &opts.num_threads)) {
-      return 1;
+    bool dump_metrics = false;
+    for (int i = 5; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--metrics") {
+        dump_metrics = true;
+      } else if (arg == "--audit") {
+        if (++i >= argc ||
+            !ParseDoubleArg(argv[i], "audit fraction",
+                            &opts.audit_fraction) ||
+            opts.audit_fraction > 1.0) {
+          std::fprintf(stderr,
+                       "--audit needs a fraction in (0, 1]\n");
+          return 1;
+        }
+      } else if (!ParseIntArg(argv[i], "thread count", 0,
+                              &opts.num_threads)) {
+        return 1;
+      }
     }
     auto svc = service::EstimationService::Create(std::move(sketch).value(),
                                                   opts);
@@ -278,6 +357,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(bstats.covered_terms),
         static_cast<long long>(bstats.uniformity_terms),
         static_cast<long long>(bstats.conditioned_nodes));
+    std::printf(
+        "path cache: %llu lookups, %llu hits this batch\n",
+        static_cast<unsigned long long>(bstats.cache_lookups),
+        static_cast<unsigned long long>(bstats.cache_hits));
+    if (bstats.audited > 0) {
+      std::printf(
+          "audit: %zu queries evaluated exactly; relative error mean "
+          "%.3f, max %.3f\n",
+          bstats.audited, bstats.audit_mean_rel_error,
+          bstats.audit_max_rel_error);
+    }
+    if (dump_metrics) {
+      std::printf("%s",
+                  obs::MetricsRegistry::Default().ToPrometheusText().c_str());
+    }
     return 0;
   }
 

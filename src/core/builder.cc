@@ -7,7 +7,9 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.h"
 #include "util/check.h"
+#include "util/percentiles.h"
 #include "util/thread_pool.h"
 
 namespace xsketch::core {
@@ -19,14 +21,6 @@ using Clock = std::chrono::steady_clock;
 double MillisSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
-}
-
-// Nearest-rank percentile of an unsorted sample (sorts in place).
-double Percentile(std::vector<double>& xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double rank = p * static_cast<double>(xs.size() - 1);
-  return xs[static_cast<size_t>(std::llround(rank))];
 }
 
 // Elements of v whose parent lies in u (b-stabilize split set).
@@ -259,6 +253,24 @@ std::vector<Refinement> XBuild::GenerateCandidates(const TwigXSketch& sketch,
 
 TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
   const Clock::time_point build_start = Clock::now();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  obs::Counter& m_builds =
+      reg.GetCounter("xsketch_build_runs_total", "XBUILD invocations");
+  obs::Counter& m_iterations =
+      reg.GetCounter("xsketch_build_iterations_total",
+                     "accepted refinements across all builds");
+  obs::Counter& m_scored =
+      reg.GetCounter("xsketch_build_candidates_scored_total",
+                     "sample-workload evaluations of candidate refinements");
+  obs::Histogram& m_scoring_ms =
+      reg.GetHistogram("xsketch_build_scoring_ms", obs::DurationBucketsMs(),
+                       "per-iteration candidate-scoring wall time (ms)");
+  obs::Gauge& m_final_size = reg.GetGauge(
+      "xsketch_build_final_size_bytes", "size of the last built synopsis");
+  obs::Gauge& m_final_error =
+      reg.GetGauge("xsketch_build_final_error",
+                   "sample-workload error of the last built synopsis");
+  m_builds.Increment();
   TwigXSketch sketch = TwigXSketch::Coarsest(doc_, options_.coarsest);
   util::Rng rng(options_.seed);
 
@@ -357,6 +369,7 @@ TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
       for (size_t i = 0; i < candidates.size(); ++i) score_one(i);
     }
     scoring_ms.push_back(MillisSince(scoring_start));
+    m_scoring_ms.Observe(scoring_ms.back());
 
     // Deterministic reduction: best gain wins, earliest candidate on ties.
     int best_i = -1;
@@ -385,15 +398,20 @@ TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
     if (on_step) on_step(sketch, sketch.SizeBytes());
   }
 
+  m_iterations.Increment(static_cast<uint64_t>(agg.iterations));
+  m_scored.Increment(static_cast<uint64_t>(agg.candidates_scored));
+  m_final_size.Set(static_cast<double>(sketch.SizeBytes()));
+
   if (stats != nullptr) {
-    agg.scoring_p50_ms = Percentile(scoring_ms, 0.50);
-    agg.scoring_p95_ms = Percentile(scoring_ms, 0.95);
+    agg.scoring_p50_ms = util::Percentile(scoring_ms, 0.50);
+    agg.scoring_p95_ms = util::Percentile(scoring_ms, 0.95);
     agg.wall_ms = MillisSince(build_start);
     agg.final_size_bytes = sketch.SizeBytes();
     agg.final_error =
         options_.score_candidates
             ? WorkloadError(sketch, sample, options_.estimator)
             : 0.0;
+    m_final_error.Set(agg.final_error);
     *stats = agg;
   }
   return sketch;

@@ -34,14 +34,28 @@ util::Status EstimatorOptions::Validate() const {
   return util::Status::OK();
 }
 
+DescendantPathCache::DescendantPathCache() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metric_lookups_ = &reg.GetCounter(
+      "xsketch_path_cache_lookups_total",
+      "'//'-expansion cache lookups across all estimators");
+  metric_hits_ = &reg.GetCounter(
+      "xsketch_path_cache_hits_total",
+      "'//'-expansion cache hits across all estimators");
+}
+
 const DescendantPathCache::Paths* DescendantPathCache::Find(
     uint64_t key) const {
+  // The lookup is recorded before the hit is published with release order
+  // (see counters() for why), so hits can never be observed > lookups.
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  metric_lookups_->Increment();
   Shard& s = shard(key);
   std::lock_guard<std::mutex> lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) return nullptr;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_release);
+  metric_hits_->Increment();
   return it->second.get();
 }
 
@@ -65,27 +79,78 @@ Estimator::Estimator(const TwigXSketch& sketch,
       options_.max_path_length > 0
           ? options_.max_path_length
           : static_cast<int>(sketch_.doc().max_depth()) + 1;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metrics_.queries = &reg.GetCounter("xsketch_estimator_queries_total",
+                                     "twig queries estimated");
+  metrics_.rejected =
+      &reg.GetCounter("xsketch_estimator_rejected_queries_total",
+                      "malformed twigs rejected by EstimateChecked");
+  metrics_.covered_terms =
+      &reg.GetCounter("xsketch_estimator_covered_terms_total",
+                      "E_i terms: fanouts read from histogram buckets");
+  metrics_.uniformity_terms =
+      &reg.GetCounter("xsketch_estimator_uniformity_terms_total",
+                      "U_i terms: Forward Uniformity fallbacks");
+  metrics_.conditioned_nodes =
+      &reg.GetCounter("xsketch_estimator_conditioned_nodes_total",
+                      "D_i terms: Correlation Scope conditionings");
+  metrics_.value_fractions =
+      &reg.GetCounter("xsketch_estimator_value_fractions_total",
+                      "value-predicate fractions applied");
+  metrics_.existential_terms =
+      &reg.GetCounter("xsketch_estimator_existential_terms_total",
+                      "branching-predicate factors");
+  metrics_.descendant_chains =
+      &reg.GetCounter("xsketch_estimator_descendant_chains_total",
+                      "'//' expansion alternatives evaluated");
 }
 
 double Estimator::Estimate(const query::TwigQuery& twig) const {
-  return EstimateImpl(twig, nullptr);
+  return EstimateImpl(twig, nullptr, nullptr);
 }
 
 EstimateStats Estimator::EstimateWithStats(
     const query::TwigQuery& twig) const {
   EstimateStats stats;
-  stats.estimate = EstimateImpl(twig, &stats);
+  stats.estimate = EstimateImpl(twig, &stats, nullptr);
+  return stats;
+}
+
+EstimateStats Estimator::EstimateWithTrace(const query::TwigQuery& twig,
+                                           obs::ExplainTrace* trace) const {
+  if (trace != nullptr) trace->Clear();
+  EstimateStats stats;
+  stats.estimate = EstimateImpl(twig, &stats, trace);
   return stats;
 }
 
 util::Result<EstimateStats> Estimator::EstimateChecked(
     const query::TwigQuery& twig) const {
-  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  if (util::Status st = twig.Validate(); !st.ok()) {
+    metrics_.rejected->Increment();
+    return st;
+  }
   return EstimateWithStats(twig);
 }
 
+std::string Estimator::SynLabel(SynNodeId n) const {
+  const Synopsis& syn = sketch_.synopsis();
+  return sketch_.doc().tags().Get(syn.node(n).tag) + "#" +
+         std::to_string(n);
+}
+
+std::string Estimator::ChainLabel(SynNodeId from,
+                                  const std::vector<SynNodeId>& chain) const {
+  std::string out = SynLabel(from);
+  for (SynNodeId n : chain) out += "/" + SynLabel(n);
+  return out;
+}
+
 double Estimator::EstimateImpl(const query::TwigQuery& twig,
-                               EstimateStats* stats) const {
+                               EstimateStats* stats,
+                               obs::ExplainTrace* trace) const {
+  metrics_.queries->Increment();
   if (twig.empty()) return 0.0;
   const auto& root = twig.node(twig.root());
   if (root.tag == query::kUnknownTag) return 0.0;
@@ -93,30 +158,91 @@ double Estimator::EstimateImpl(const query::TwigQuery& twig,
   EvalState state;
   state.twig = &twig;
   state.stats = stats;
-  state.memo_enabled = !sketch_.HasBackwardDims() && stats == nullptr;
+  state.trace = trace;
+  state.enumerate_all = sketch_.HasBackwardDims();
+  state.memo_enabled =
+      !state.enumerate_all && stats == nullptr && trace == nullptr;
+
+  obs::ExplainTrace* tr = trace;
+  const std::string& root_tag = sketch_.doc().tags().Get(root.tag);
+  if (tr != nullptr) {
+    // Outer node: final clamp to >= 0; inner node: the sum over extents.
+    tr->Open(obs::ExplainOp::kOpaque, "query",
+             (root.axis == query::Axis::kChild ? "/" : "//") + root_tag,
+             twig.root());
+    tr->Open(obs::ExplainOp::kSum, "extents",
+             "root alternatives of " + root_tag, twig.root());
+  }
 
   const Synopsis& syn = sketch_.synopsis();
   double total = 0.0;
   if (root.axis == query::Axis::kChild) {
     // Absolute '/tag': only the document root element can match.
     const SynNodeId n0 = syn.RootNode();
-    if (syn.node(n0).tag != root.tag) return 0.0;
-    total = ValueFraction(n0, twig.root(), state) *
-            EvalSubtree(n0, twig.root(), state);
+    if (syn.node(n0).tag == root.tag) {
+      if (tr != nullptr) {
+        tr->Open(obs::ExplainOp::kProduct, "extent",
+                 "document root " + SynLabel(n0), twig.root());
+      }
+      const double vf = ValueFraction(n0, twig.root(), state);
+      const double sub = EvalSubtree(n0, twig.root(), state);
+      total = vf * sub;
+      if (tr != nullptr) tr->Close(total);
+    }
   } else {
     for (SynNodeId n : syn.NodesWithTag(root.tag)) {
-      total += static_cast<double>(syn.node(n).count) *
-               ValueFraction(n, twig.root(), state) *
-               EvalSubtree(n, twig.root(), state);
+      const double count = static_cast<double>(syn.node(n).count);
+      if (tr != nullptr) {
+        tr->Open(obs::ExplainOp::kProduct, "extent",
+                 "extent " + SynLabel(n), twig.root());
+        tr->Leaf("n", "|" + SynLabel(n) + "|", count, twig.root());
+      }
+      const double vf = ValueFraction(n, twig.root(), state);
+      const double sub = EvalSubtree(n, twig.root(), state);
+      const double term = count * vf * sub;
+      if (tr != nullptr) tr->Close(term);
+      total += term;
     }
   }
-  return std::max(0.0, total);
+  const double result = std::max(0.0, total);
+  if (tr != nullptr) {
+    tr->Close(total);
+    tr->Close(result);
+  }
+  if (stats != nullptr) {
+    // Mirror the per-call term counts into the process-wide registry.
+    metrics_.covered_terms->Increment(
+        static_cast<uint64_t>(stats->covered_terms));
+    metrics_.uniformity_terms->Increment(
+        static_cast<uint64_t>(stats->uniformity_terms));
+    metrics_.conditioned_nodes->Increment(
+        static_cast<uint64_t>(stats->conditioned_nodes));
+    metrics_.value_fractions->Increment(
+        static_cast<uint64_t>(stats->value_fractions));
+    metrics_.existential_terms->Increment(
+        static_cast<uint64_t>(stats->existential_terms));
+    metrics_.descendant_chains->Increment(
+        static_cast<uint64_t>(stats->descendant_chains));
+  }
+  return result;
 }
 
 double Estimator::ValueFraction(SynNodeId n, int t, EvalState& state) const {
   const auto& pred = state.twig->node(t).pred;
   if (!pred.has_value()) return 1.0;
   if (state.stats != nullptr) ++state.stats->value_fractions;
+  const double fraction = ValueFractionImpl(n, t, state);
+  if (state.trace != nullptr) {
+    state.trace->Leaf("fv",
+                      "value " + pred->ToString() + " at " + SynLabel(n),
+                      fraction, t);
+  }
+  return fraction;
+}
+
+double Estimator::ValueFractionImpl(SynNodeId n, int t,
+                                    EvalState& state) const {
+  const auto& pred = state.twig->node(t).pred;
   const NodeSummary& s = sketch_.summary(n);
   if (s.values.empty()) return 0.0;  // no element of n carries a value
 
@@ -170,6 +296,10 @@ std::vector<hist::WeightedPoint> Estimator::ConditionedPoints(
   if (state.stats != nullptr && !given.empty()) {
     ++state.stats->conditioned_nodes;
   }
+  if (state.trace != nullptr && !given.empty()) {
+    // The caller opened the enclosing histogram-enumeration node.
+    state.trace->AnnotateConditioned(static_cast<int>(given.size()));
+  }
   return s.hist.Condition(given);
 }
 
@@ -206,11 +336,21 @@ double Estimator::EvalSubtree(SynNodeId n, int t, EvalState& state) const {
     }
   }
 
+  obs::ExplainTrace* tr = state.trace;
+  if (tr != nullptr) {
+    tr->Open(obs::ExplainOp::kSum, "H", "subtree at " + SynLabel(n), t);
+  }
+
   std::vector<hist::WeightedPoint> points;
-  if (any_covered || (!s.hist.empty() && !state.memo_enabled)) {
+  bool enumerated = false;
+  if (any_covered || (!s.hist.empty() && state.enumerate_all)) {
     points = ConditionedPoints(n, state);
+    enumerated = true;
   } else {
     points = {hist::WeightedPoint{{}, 1.0}};
+  }
+  if (tr != nullptr && enumerated) {
+    tr->AnnotateBuckets(static_cast<int>(points.size()));
   }
 
   double result = 0.0;
@@ -224,15 +364,22 @@ double Estimator::EvalSubtree(SynNodeId n, int t, EvalState& state) const {
         }
       }
     }
+    if (tr != nullptr) {
+      tr->Open(obs::ExplainOp::kProduct, "bucket",
+               "bucket " + std::to_string(pi), t);
+      tr->Leaf("p", "bucket probability", points[pi].prob, t);
+    }
     double term = points[pi].prob;
     for (int c : tnode.children) {
       if (term == 0.0) break;
       term *= ChildTerm(n, c, points, pi, state);
     }
+    if (tr != nullptr) tr->Close(term);
     result += term;
     state.ctx.resize(ctx_mark);
   }
 
+  if (tr != nullptr) tr->Close(result);
   if (state.memo_enabled) state.memo.emplace(key, result);
   return result;
 }
@@ -241,9 +388,22 @@ double Estimator::ChildTerm(SynNodeId n, int child,
                             const std::vector<hist::WeightedPoint>& points,
                             size_t point_index, EvalState& state) const {
   const auto& cnode = state.twig->node(child);
-  if (cnode.tag == query::kUnknownTag) return 0.0;
+  obs::ExplainTrace* tr = state.trace;
+  if (cnode.tag == query::kUnknownTag) {
+    if (tr != nullptr) {
+      tr->Leaf("child", "step to a tag absent from the document", 0.0,
+               child);
+    }
+    return 0.0;
+  }
   const Synopsis& syn = sketch_.synopsis();
   const NodeSummary& s = sketch_.summary(n);
+  std::string step_label;
+  if (tr != nullptr) {
+    step_label = (cnode.axis == query::Axis::kChild ? "/" : "//") +
+                 sketch_.doc().tags().Get(cnode.tag) + " from " +
+                 SynLabel(n);
+  }
 
   // Alternatives: chains of synopsis nodes from n to a node tagged
   // cnode.tag. Child axis gives length-1 chains; '//' gives label paths.
@@ -259,13 +419,25 @@ double Estimator::ChildTerm(SynNodeId n, int child,
   } else {
     chains = &DescendantPaths(n, cnode.tag);
   }
-  if (chains->empty()) return 0.0;
+  if (chains->empty()) {
+    if (tr != nullptr) {
+      tr->Leaf("child", step_label + " (no synopsis path)", 0.0, child);
+    }
+    return 0.0;
+  }
 
   if (state.stats != nullptr) {
     if (cnode.existential) ++state.stats->existential_terms;
     if (cnode.axis == query::Axis::kDescendant) {
       state.stats->descendant_chains += static_cast<int>(chains->size());
     }
+  }
+  if (tr != nullptr) {
+    // Alternatives add for output semantics; a branching predicate
+    // combines them as P[at least one embedding matches].
+    tr->Open(cnode.existential ? obs::ExplainOp::kExistential
+                               : obs::ExplainOp::kSum,
+             cnode.existential ? "fe" : "child", step_label, child);
   }
   double sum = 0.0;        // output semantics
   double prob_none = 1.0;  // existential semantics
@@ -293,7 +465,9 @@ double Estimator::ChildTerm(SynNodeId n, int child,
       sum += factor;
     }
   }
-  return cnode.existential ? 1.0 - prob_none : sum;
+  const double out = cnode.existential ? 1.0 - prob_none : sum;
+  if (tr != nullptr) tr->Close(out);
+  return out;
 }
 
 double Estimator::StepFactor(SynNodeId cur, SynNodeId next, double count,
@@ -302,6 +476,24 @@ double Estimator::StepFactor(SynNodeId cur, SynNodeId next, double count,
                              size_t index, int t, bool existential,
                              EvalState& state) const {
   const bool last = (index + 1 == chain.size());
+  obs::ExplainTrace* tr = state.trace;
+  if (tr != nullptr) {
+    // E (covered): the fanout came from a histogram bucket; U (uncovered):
+    // Forward Uniformity average. Existential steps combine count and
+    // subterm with 1-(1-q)^c, which is not a plain product — kOpaque.
+    std::string label = SynLabel(cur) + " -> " + SynLabel(next);
+    if (chain.size() > 1) {
+      label += " (alternative " + ChainLabel(cur, chain) + ", step " +
+               std::to_string(index + 1) + ")";
+    }
+    tr->Open(existential ? obs::ExplainOp::kOpaque
+                         : obs::ExplainOp::kProduct,
+             covered ? "E" : "U", label, t);
+    tr->Leaf("c", covered ? "bucket fanout" : "average fanout", count, t);
+    tr->Open(obs::ExplainOp::kProduct, "sub",
+             last ? "tail at " + SynLabel(next) : "chain continuation", t);
+  }
+
   double inner;
   if (last) {
     const double vf = ValueFraction(next, t, state);
@@ -309,27 +501,37 @@ double Estimator::StepFactor(SynNodeId cur, SynNodeId next, double count,
   } else {
     inner = ChainTerm(next, chain, index + 1, t, existential, state);
   }
+  if (tr != nullptr) tr->Close(inner);
 
+  double factor;
   if (!existential) {
-    return count * inner;
+    factor = count * inner;
+  } else {
+    const double q = Clamp01(inner);
+    if (covered) {
+      // Exact count (a bucket representative): P[>=1 of `count` children
+      // satisfies] under per-child independence.
+      factor = count <= 0.0 ? 0.0 : 1.0 - std::pow(1.0 - q, count);
+    } else {
+      // Uncovered: split existence (parent fraction) from fanout-given-
+      // existence (child_count / parent_count >= 1).
+      const SynEdge* edge = sketch_.synopsis().FindEdge(cur, next);
+      XS_CHECK(edge != nullptr);
+      if (edge->parent_count == 0) {
+        factor = 0.0;
+      } else {
+        const double exist_frac =
+            static_cast<double>(edge->parent_count) /
+            static_cast<double>(sketch_.synopsis().node(cur).count);
+        const double avg_given_exist =
+            static_cast<double>(edge->child_count) /
+            static_cast<double>(edge->parent_count);
+        factor = exist_frac * (1.0 - std::pow(1.0 - q, avg_given_exist));
+      }
+    }
   }
-  const double q = Clamp01(inner);
-  if (covered) {
-    // Exact count (a bucket representative): P[>=1 of `count` children
-    // satisfies] under per-child independence.
-    return count <= 0.0 ? 0.0 : 1.0 - std::pow(1.0 - q, count);
-  }
-  // Uncovered: split existence (parent fraction) from fanout-given-
-  // existence (child_count / parent_count >= 1).
-  const SynEdge* edge = sketch_.synopsis().FindEdge(cur, next);
-  XS_CHECK(edge != nullptr);
-  if (edge->parent_count == 0) return 0.0;
-  const double exist_frac =
-      static_cast<double>(edge->parent_count) /
-      static_cast<double>(sketch_.synopsis().node(cur).count);
-  const double avg_given_exist = static_cast<double>(edge->child_count) /
-                                 static_cast<double>(edge->parent_count);
-  return exist_frac * (1.0 - std::pow(1.0 - q, avg_given_exist));
+  if (tr != nullptr) tr->Close(factor);
+  return factor;
 }
 
 double Estimator::ChainTerm(SynNodeId cur,
@@ -349,9 +551,17 @@ double Estimator::ChainTerm(SynNodeId cur,
     return StepFactor(cur, next, avg, /*covered=*/false, chain, index, t,
                       existential, state);
   }
+  obs::ExplainTrace* tr = state.trace;
+  if (tr != nullptr) {
+    tr->Open(obs::ExplainOp::kSum, "H", "H(" + SynLabel(cur) + ")", t);
+  }
   std::vector<hist::WeightedPoint> points = ConditionedPoints(cur, state);
+  if (tr != nullptr) {
+    tr->AnnotateBuckets(static_cast<int>(points.size()));
+  }
   double result = 0.0;
-  for (const hist::WeightedPoint& wp : points) {
+  for (size_t pi = 0; pi < points.size(); ++pi) {
+    const hist::WeightedPoint& wp = points[pi];
     const size_t ctx_mark = state.ctx.size();
     if (!wp.values.empty()) {
       for (size_t dd = 0; dd < s.scope.size(); ++dd) {
@@ -360,11 +570,20 @@ double Estimator::ChainTerm(SynNodeId cur,
         }
       }
     }
-    result += wp.prob * StepFactor(cur, next, wp.values[d],
-                                   /*covered=*/true, chain, index, t,
-                                   existential, state);
+    if (tr != nullptr) {
+      tr->Open(obs::ExplainOp::kProduct, "bucket",
+               "bucket " + std::to_string(pi), t);
+      tr->Leaf("p", "bucket probability", wp.prob, t);
+    }
+    const double sf = StepFactor(cur, next, wp.values[d],
+                                 /*covered=*/true, chain, index, t,
+                                 existential, state);
+    const double term = wp.prob * sf;
+    if (tr != nullptr) tr->Close(term);
+    result += term;
     state.ctx.resize(ctx_mark);
   }
+  if (tr != nullptr) tr->Close(result);
   return result;
 }
 

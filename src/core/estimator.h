@@ -42,10 +42,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/twig_xsketch.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "query/twig.h"
 #include "util/status.h"
 
@@ -90,6 +93,10 @@ class DescendantPathCache {
     uint64_t hits = 0;
   };
 
+  // Registers the process-wide mirror counters
+  // (xsketch_path_cache_{lookups,hits}_total) in the default registry.
+  DescendantPathCache();
+
   // The cached expansion for `key`, or nullptr. Counts one lookup.
   const Paths* Find(uint64_t key) const;
 
@@ -97,9 +104,14 @@ class DescendantPathCache {
   // the stored expansion for `key`.
   const Paths& Insert(uint64_t key, Paths paths) const;
 
+  // Snapshot of this cache's lifetime counters. hits <= lookups holds even
+  // against concurrent writers: a lookup is recorded (relaxed) before its
+  // hit is published (release), and the snapshot reads hits (acquire)
+  // before lookups, so any hit it observes implies its lookup is visible.
   Counters counters() const {
-    return {lookups_.load(std::memory_order_relaxed),
-            hits_.load(std::memory_order_relaxed)};
+    const uint64_t hits = hits_.load(std::memory_order_acquire);
+    const uint64_t lookups = lookups_.load(std::memory_order_relaxed);
+    return {lookups, hits};
   }
 
  private:
@@ -117,6 +129,9 @@ class DescendantPathCache {
   mutable std::array<Shard, kShards> shards_;
   mutable std::atomic<uint64_t> lookups_{0};
   mutable std::atomic<uint64_t> hits_{0};
+  // Process-wide mirrors (all caches aggregated) in the default registry.
+  obs::Counter* metric_lookups_;
+  obs::Counter* metric_hits_;
 };
 
 // Shareable, internally synchronized estimator: all public methods are
@@ -140,6 +155,15 @@ class Estimator {
 
   // Same estimate plus diagnostics about the assumptions applied.
   EstimateStats EstimateWithStats(const query::TwigQuery& twig) const;
+
+  // Same estimate plus a full explain trace: per twig node, the E/U term
+  // kind chosen, the histogram buckets read (and conditioned dimensions,
+  // the D terms), value/existential fractions, and every '//' expansion
+  // alternative with its contribution. The trace records the estimator's
+  // own arithmetic, so trace->estimate() equals the returned estimate bit
+  // for bit (see obs/explain.h). `trace` is cleared first.
+  EstimateStats EstimateWithTrace(const query::TwigQuery& twig,
+                                  obs::ExplainTrace* trace) const;
 
   // Validating entry point for queries from untrusted sources: rejects
   // malformed twigs (empty query, dangling branch, existential root) with
@@ -166,11 +190,18 @@ class Estimator {
     std::vector<CtxEntry> ctx;
     std::unordered_map<uint64_t, double> memo;
     bool memo_enabled = false;
-    EstimateStats* stats = nullptr;  // optional diagnostics sink
+    // True when the sketch has backward dims: histogram buckets must then
+    // be enumerated even at nodes with no covered child step, so that
+    // forward assignments are on the context stack for deeper
+    // conditioning. Kept separate from memo_enabled so that stats/trace
+    // runs (memo off) follow bit-identical arithmetic to plain Estimate.
+    bool enumerate_all = false;
+    EstimateStats* stats = nullptr;       // optional diagnostics sink
+    obs::ExplainTrace* trace = nullptr;   // optional explain sink
   };
 
-  double EstimateImpl(const query::TwigQuery& twig,
-                      EstimateStats* stats) const;
+  double EstimateImpl(const query::TwigQuery& twig, EstimateStats* stats,
+                      obs::ExplainTrace* trace) const;
 
   double EvalSubtree(SynNodeId n, int t, EvalState& state) const;
   double ChildTerm(SynNodeId n, int child,
@@ -189,8 +220,15 @@ class Estimator {
   std::vector<hist::WeightedPoint> ConditionedPoints(SynNodeId n,
                                                      EvalState& state) const;
 
-  // Value-predicate fraction for twig node t evaluated at synopsis node n.
+  // Value-predicate fraction for twig node t evaluated at synopsis node n
+  // (records the stats/trace entry; ValueFractionImpl does the math).
   double ValueFraction(SynNodeId n, int t, EvalState& state) const;
+  double ValueFractionImpl(SynNodeId n, int t, EvalState& state) const;
+
+  // Rendering helpers for explain traces.
+  std::string SynLabel(SynNodeId n) const;
+  std::string ChainLabel(SynNodeId from,
+                         const std::vector<SynNodeId>& chain) const;
 
   // All synopsis label paths n -> ... -> (tag) with length in
   // [1, max_path_length], capped at max_descendant_paths. Cached in the
@@ -198,10 +236,27 @@ class Estimator {
   const DescendantPathCache::Paths& DescendantPaths(SynNodeId n,
                                                     xml::TagId tag) const;
 
+  // Process-wide registry handles (shared across all Estimators). The
+  // query counter covers every Estimate* call; the per-term counters are
+  // recorded on the stats-bearing paths (EstimateWithStats /
+  // EstimateChecked / EstimationService batches), where term counting
+  // happens anyway — plain Estimate() keeps its memoized fast path.
+  struct Metrics {
+    obs::Counter* queries;
+    obs::Counter* rejected;
+    obs::Counter* covered_terms;
+    obs::Counter* uniformity_terms;
+    obs::Counter* conditioned_nodes;
+    obs::Counter* value_fractions;
+    obs::Counter* existential_terms;
+    obs::Counter* descendant_chains;
+  };
+
   const TwigXSketch& sketch_;
   EstimatorOptions options_;
   int path_length_cap_;
   DescendantPathCache path_cache_;
+  Metrics metrics_;
 };
 
 }  // namespace xsketch::core

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "obs/metrics.h"
+
 namespace xsketch::core {
 
 namespace {
@@ -73,6 +75,10 @@ class Reader {
 }  // namespace
 
 std::string SaveSketch(const TwigXSketch& sketch) {
+  static obs::Counter& saves = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_serialize_saves_total", "sketches serialized");
+  static obs::Counter& bytes_out = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_serialize_bytes_total", "sketch bytes serialized");
   const Synopsis& syn = sketch.synopsis();
   const xml::Document& doc = sketch.doc();
 
@@ -101,11 +107,42 @@ std::string SaveSketch(const TwigXSketch& sketch) {
     PutU32(out, static_cast<uint32_t>(cfg.value_scope.size()));
     for (const CountRef& ref : cfg.value_scope) PutRef(out, ref);
   }
+  saves.Increment();
+  bytes_out.Increment(out.size());
   return out;
 }
 
+namespace {
+
+util::Result<TwigXSketch> LoadSketchImpl(const std::string& bytes,
+                                         const xml::Document& doc);
+
+}  // namespace
+
 util::Result<TwigXSketch> LoadSketch(const std::string& bytes,
                                      const xml::Document& doc) {
+  static obs::Counter& loads = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_serialize_loads_total", "sketches deserialized");
+  static obs::Counter& bytes_in = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_serialize_bytes_read_total", "sketch bytes deserialized");
+  static obs::Counter& load_errors =
+      obs::MetricsRegistry::Default().GetCounter(
+          "xsketch_serialize_load_errors_total",
+          "sketch loads rejected (corrupt or mismatched input)");
+  util::Result<TwigXSketch> result = LoadSketchImpl(bytes, doc);
+  if (result.ok()) {
+    loads.Increment();
+    bytes_in.Increment(bytes.size());
+  } else {
+    load_errors.Increment();
+  }
+  return result;
+}
+
+namespace {
+
+util::Result<TwigXSketch> LoadSketchImpl(const std::string& bytes,
+                                         const xml::Document& doc) {
   Reader reader(bytes);
   if (bytes.size() >= 4 &&
       std::memcmp(bytes.data(), kLegacyMagic, 4) == 0) {
@@ -199,6 +236,8 @@ util::Result<TwigXSketch> LoadSketch(const std::string& bytes,
   }
   return TwigXSketch::Restore(doc, std::move(partition), std::move(configs));
 }
+
+}  // namespace
 
 util::Status SaveSketchToFile(const TwigXSketch& sketch,
                               const std::string& path) {

@@ -1,0 +1,155 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with relaxed-atomic hot paths.
+//
+// Every subsystem registers its metrics by name through
+// MetricsRegistry::Default() (estimator query/term counters, service batch
+// and latency metrics, XBUILD iteration counters, parser/serialize byte
+// counters) and keeps the returned handle; recording is then a single
+// relaxed atomic add with no lock and no lookup. Registration itself takes
+// a mutex and is expected at construction boundaries only.
+//
+// Snapshots (JSON and Prometheus-style text exposition) read every value
+// with relaxed loads: each individual metric is internally consistent — a
+// histogram's count is defined as the sum of its bucket counts, so it
+// always equals the observations the snapshot saw — but relations
+// *between* metrics (e.g. cache hits <= lookups) are only exact at
+// quiescence; subsystems that need a mid-flight ordering guarantee
+// enforce it on their own atomics (see DescendantPathCache::counters()).
+//
+// Exposition-format stability promise: metric names, label-free Prometheus
+// text layout (# HELP / # TYPE / cumulative _bucket{le=...} / _sum /
+// _count lines) and the JSON field names (name, kind, help, value, count,
+// sum, buckets[].le, buckets[].count) are stable; dashboards may parse
+// them. New metrics may appear; existing ones keep their meaning.
+
+#ifndef XSKETCH_OBS_METRICS_H_
+#define XSKETCH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsketch::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written value (sizes, configuration, most-recent error).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket latency/error histogram. Bucket bounds are inclusive upper
+// bounds in ascending order; observations above the last bound land in an
+// implicit overflow bucket. Observe() is two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, overflow last
+    uint64_t count = 0;            // sum of counts — always consistent
+    double sum = 0.0;
+
+    double Mean() const;
+    // Conservative quantile: the smallest bucket upper bound whose
+    // cumulative count reaches q * count (the overflow bucket reports the
+    // last finite bound).
+    double Quantile(double q) const;
+  };
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem registers through.
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Return the metric registered under `name`, creating it on first use.
+  // References stay valid for the registry's lifetime. Requesting an
+  // existing name with a different metric kind aborts (names are
+  // process-wide and must mean one thing). For histograms, the first
+  // registration fixes the bucket bounds; later bounds are ignored.
+  Counter& GetCounter(std::string_view name, std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds,
+                          std::string_view help = "");
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct MetricSnapshot {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    uint64_t counter_value = 0;
+    double gauge_value = 0.0;
+    Histogram::Snapshot histogram;  // engaged for kHistogram only
+  };
+
+  // Point-in-time view of every registered metric, name-ordered. Safe
+  // with concurrent writers (see file comment for consistency semantics).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  std::string ToJson() const;
+  std::string ToPrometheusText() const;
+
+  // Zeroes every registered value (bench/test isolation; not a hot path,
+  // and not atomic with respect to concurrent writers).
+  void Reset();
+
+ private:
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetEntry(std::string_view name, Kind kind, std::string_view help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+// Shared bucket layouts, so related metrics stay comparable.
+std::vector<double> LatencyBucketsUs();     // 1us .. ~1s, roughly x4 steps
+std::vector<double> DurationBucketsMs();    // 0.1ms .. ~100s
+std::vector<double> RelativeErrorBuckets(); // 0.01 .. 100 (paper's metric)
+
+}  // namespace xsketch::obs
+
+#endif  // XSKETCH_OBS_METRICS_H_

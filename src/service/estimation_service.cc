@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/percentiles.h"
 
 namespace xsketch::service {
 
@@ -21,12 +22,13 @@ double MicrosBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
 }
 
-// Nearest-rank percentile of an unsorted latency sample (sorts in place).
-double Percentile(std::vector<double>& xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double rank = p * static_cast<double>(xs.size() - 1);
-  return xs[static_cast<size_t>(std::llround(rank))];
+// SplitMix64: the audit sampling mask must be deterministic in
+// (seed, query index) so a batch audited twice samples the same queries.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
@@ -41,6 +43,16 @@ util::Status ServiceOptions::Validate() const {
     return util::Status::InvalidArgument(
         "chunk_size must be >= 0 (got " + std::to_string(chunk_size) +
         "; 0 means auto)");
+  }
+  if (!(audit_fraction >= 0.0 && audit_fraction <= 1.0)) {
+    return util::Status::InvalidArgument(
+        "audit_fraction must be in [0, 1] (got " +
+        std::to_string(audit_fraction) + ")");
+  }
+  if (!(audit_sanity_bound > 0.0)) {
+    return util::Status::InvalidArgument(
+        "audit_sanity_bound must be > 0 (got " +
+        std::to_string(audit_sanity_bound) + ")");
   }
   return estimator.Validate();
 }
@@ -61,7 +73,39 @@ EstimationService::EstimationService(core::TwigXSketch sketch,
     : sketch_(std::move(sketch)),
       options_(options),
       estimator_(sketch_, options.estimator),
-      pool_(num_threads) {}
+      pool_(num_threads) {
+  if (options_.audit_fraction > 0.0) {
+    exact_ = std::make_unique<query::ExactEvaluator>(sketch_.doc());
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metrics_.batches =
+      &reg.GetCounter("xsketch_service_batches_total", "EstimateBatch calls");
+  metrics_.queries = &reg.GetCounter("xsketch_service_queries_total",
+                                     "queries submitted in batches");
+  metrics_.failed =
+      &reg.GetCounter("xsketch_service_failed_queries_total",
+                      "per-query failures (malformed twigs) in batches");
+  metrics_.latency_us =
+      &reg.GetHistogram("xsketch_service_query_latency_us",
+                        obs::LatencyBucketsUs(),
+                        "per-query estimation latency (microseconds)");
+  metrics_.audit_samples =
+      &reg.GetCounter("xsketch_service_audit_samples_total",
+                      "batch queries audited against exact evaluation");
+  metrics_.audit_rel_error = &reg.GetHistogram(
+      "xsketch_service_audit_rel_error", obs::RelativeErrorBuckets(),
+      "audit relative error |r - c| / max(s, c), the paper's Section 6.1 "
+      "metric");
+}
+
+bool EstimationService::AuditSelected(size_t index) const {
+  if (exact_ == nullptr) return false;
+  // Map the hash to [0, 1) and compare against the sampled fraction.
+  const uint64_t h = Mix64(options_.audit_seed ^ static_cast<uint64_t>(index));
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // 53 uniform bits
+  return u < options_.audit_fraction;
+}
 
 EstimationService::~EstimationService() = default;
 
@@ -81,6 +125,9 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   // into the final vector once every slot is filled.
   std::vector<std::optional<util::Result<core::EstimateStats>>> staged(n);
   std::vector<double> latencies_us(n, 0.0);
+  // Audit relative errors, indexed like the queries; negative = not
+  // audited (skipped by the sampling mask, or the query failed).
+  std::vector<double> audit_errors(n, -1.0);
 
   size_t chunk = options_.chunk_size > 0
                      ? static_cast<size_t>(options_.chunk_size)
@@ -95,11 +142,23 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
     pool_.Submit([this, queries, begin, end, &staged, &latencies_us,
-                  &done_mu, &all_done, &pending] {
+                  &audit_errors, &done_mu, &all_done, &pending] {
       for (size_t i = begin; i < end; ++i) {
         const Clock::time_point q_start = Clock::now();
         staged[i].emplace(estimator_.EstimateChecked(queries[i]));
         latencies_us[i] = MicrosBetween(q_start, Clock::now());
+        metrics_.latency_us->Observe(latencies_us[i]);
+        if (staged[i]->ok() && AuditSelected(i)) {
+          // Ground truth on the sampled query: the paper's relative-error
+          // metric |r - c| / max(s, c) (§6.1).
+          const double r = staged[i]->value().estimate;
+          const double c =
+              static_cast<double>(exact_->Selectivity(queries[i]));
+          audit_errors[i] = std::abs(r - c) /
+                            std::max(options_.audit_sanity_bound, c);
+          metrics_.audit_samples->Increment();
+          metrics_.audit_rel_error->Observe(audit_errors[i]);
+        }
       }
       std::lock_guard<std::mutex> lock(done_mu);
       if (--pending == 0) all_done.notify_one();
@@ -130,18 +189,33 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
     results.push_back(std::move(*staged[i]));
   }
 
+  metrics_.batches->Increment();
+  metrics_.queries->Increment(n);
+  metrics_.failed->Increment(failed);
+
   if (stats != nullptr) {
     agg.queries = n;
     agg.failed = failed;
     agg.wall_ms = MicrosBetween(batch_start, Clock::now()) / 1000.0;
-    agg.p50_latency_us = Percentile(latencies_us, 0.50);
-    agg.p95_latency_us = Percentile(latencies_us, 0.95);
+    agg.p50_latency_us = util::Percentile(latencies_us, 0.50);
+    agg.p95_latency_us = util::Percentile(latencies_us, 0.95);
     const auto cache_after = estimator_.path_cache_counters();
-    const uint64_t lookups = cache_after.lookups - cache_before.lookups;
-    const uint64_t hits = cache_after.hits - cache_before.hits;
-    agg.cache_hit_rate = lookups == 0 ? 0.0
-                                      : static_cast<double>(hits) /
-                                            static_cast<double>(lookups);
+    agg.cache_lookups = cache_after.lookups - cache_before.lookups;
+    agg.cache_hits = cache_after.hits - cache_before.hits;
+    agg.cache_hit_rate =
+        agg.cache_lookups == 0
+            ? 0.0
+            : static_cast<double>(agg.cache_hits) /
+                  static_cast<double>(agg.cache_lookups);
+    double err_sum = 0.0;
+    for (double e : audit_errors) {
+      if (e < 0.0) continue;
+      ++agg.audited;
+      err_sum += e;
+      agg.audit_max_rel_error = std::max(agg.audit_max_rel_error, e);
+    }
+    agg.audit_mean_rel_error =
+        agg.audited == 0 ? 0.0 : err_sum / static_cast<double>(agg.audited);
     *stats = agg;
   }
   return results;

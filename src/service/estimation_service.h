@@ -11,6 +11,13 @@
 // Every query goes through Estimator::EstimateChecked: malformed twigs
 // come back as per-query Status::InvalidArgument entries, never aborts,
 // and never poison the rest of the batch.
+//
+// Audit mode (opt-in via ServiceOptions::audit_fraction): a deterministic
+// sample of each batch is additionally evaluated exactly with
+// query::ExactEvaluator, and the paper's relative-error metric
+// |r - c| / max(s, c) (§6.1) is aggregated into BatchStats and fed into
+// the process-wide xsketch_service_audit_rel_error histogram — live
+// accuracy telemetry against ground truth.
 
 #ifndef XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
 #define XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
@@ -22,6 +29,8 @@
 
 #include "core/estimator.h"
 #include "core/twig_xsketch.h"
+#include "obs/metrics.h"
+#include "query/evaluator.h"
 #include "query/twig.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -39,6 +48,20 @@ struct ServiceOptions {
   // Forwarded to the shared Estimator.
   core::EstimatorOptions estimator;
 
+  // Accuracy audit: fraction of each batch's queries (in [0, 1]) whose
+  // true selectivity is computed exactly and compared against the
+  // estimate. 0 disables auditing (and skips building the evaluator).
+  // Exact evaluation walks the document, so keep the fraction small on
+  // large documents.
+  double audit_fraction = 0.0;
+  // Seed for the deterministic per-query sampling mask: the same batch
+  // audited twice samples the same queries.
+  uint64_t audit_seed = 0;
+  // The sanity bound s in the paper's relative-error metric
+  // |r - c| / max(s, c); must be > 0 (guards division by zero for
+  // empty-result queries).
+  double audit_sanity_bound = 1.0;
+
   util::Status Validate() const;
 };
 
@@ -49,9 +72,20 @@ struct BatchStats {
   double wall_ms = 0.0;           // end-to-end batch wall time
   double p50_latency_us = 0.0;    // per-query estimation latency
   double p95_latency_us = 0.0;
-  // Descendant-path cache hit rate over this batch's lookups (0 when the
-  // batch never expanded a '//' step). Approximate if batches overlap.
+  // Descendant-path cache activity attributable to this batch: deltas of
+  // the cache's lifetime counters snapshotted before and after the batch,
+  // not lifetime totals. Approximate if batches overlap.
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  // cache_hits / cache_lookups (0 when the batch never expanded a '//'
+  // step).
   double cache_hit_rate = 0.0;
+  // Accuracy audit (populated only when ServiceOptions::audit_fraction
+  // > 0): sampled queries evaluated exactly, and the paper's relative
+  // error |r - c| / max(s, c) over that sample.
+  size_t audited = 0;
+  double audit_mean_rel_error = 0.0;
+  double audit_max_rel_error = 0.0;
   // Sums of the per-query EstimateStats counters (successful queries).
   int64_t covered_terms = 0;      // E_i
   int64_t uniformity_terms = 0;   // U_i
@@ -93,10 +127,30 @@ class EstimationService {
   EstimationService(core::TwigXSketch sketch, const ServiceOptions& options,
                     int num_threads);
 
+  // True iff query `index` of a batch falls in the audit sample
+  // (deterministic in (audit_seed, index)).
+  bool AuditSelected(size_t index) const;
+
+  // Process-wide registry handles (see obs/metrics.h). Shared across all
+  // services in the process; BatchStats carries the per-batch values.
+  struct Metrics {
+    obs::Counter* batches;
+    obs::Counter* queries;
+    obs::Counter* failed;
+    obs::Histogram* latency_us;
+    obs::Counter* audit_samples;
+    obs::Histogram* audit_rel_error;
+  };
+
   core::TwigXSketch sketch_;   // owned; never mutated after construction
   ServiceOptions options_;
   core::Estimator estimator_;  // shared by all workers
+  // Ground-truth evaluator for audit mode; null when auditing is off.
+  // ExactEvaluator::Selectivity is const with call-local memoization, so
+  // one instance serves all workers concurrently.
+  std::unique_ptr<query::ExactEvaluator> exact_;
   util::ThreadPool pool_;
+  Metrics metrics_;
 };
 
 }  // namespace xsketch::service

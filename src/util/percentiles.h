@@ -1,0 +1,31 @@
+// Nearest-rank percentiles over latency/error samples — the one shared
+// implementation behind BuildStats, BatchStats, and the bench harness
+// (previously re-implemented in core/builder.cc,
+// service/estimation_service.cc, and bench/bench_common.h).
+
+#ifndef XSKETCH_UTIL_PERCENTILES_H_
+#define XSKETCH_UTIL_PERCENTILES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace xsketch::util {
+
+// Nearest-rank percentile of an ascending-sorted sample: the element at
+// rank round(p * (n - 1)). p in [0, 1]; an empty sample yields 0.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(std::llround(rank))];
+}
+
+// Nearest-rank percentile of an unsorted sample (sorts in place).
+inline double Percentile(std::vector<double>& xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return PercentileSorted(xs, p);
+}
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_PERCENTILES_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace xsketch::xml {
 
 namespace {
@@ -302,8 +304,23 @@ class Parser {
 
 util::Result<Document> ParseDocument(std::string_view input,
                                      const ParseOptions& options) {
+  // Function-local statics: registration is thread-safe and happens on
+  // first parse, keeping the registry out of cold start-up paths.
+  static obs::Counter& documents = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_parser_documents_total", "XML documents parsed");
+  static obs::Counter& bytes = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_parser_bytes_total", "XML input bytes consumed");
+  static obs::Counter& errors = obs::MetricsRegistry::Default().GetCounter(
+      "xsketch_parser_errors_total", "documents rejected by the parser");
+  bytes.Increment(input.size());
   Parser parser(input, options);
-  return parser.Run();
+  util::Result<Document> result = parser.Run();
+  if (result.ok()) {
+    documents.Increment();
+  } else {
+    errors.Increment();
+  }
+  return result;
 }
 
 }  // namespace xsketch::xml

@@ -12,6 +12,10 @@
 //               Estimator (Estimate / EstimateWithStats / EstimateChecked),
 //               Save/LoadSketch (little-endian XSK2 format)
 //   service::   EstimationService — the concurrent batch estimation engine
+//               (opt-in exact-evaluation audit mode)
+//   obs::       MetricsRegistry (process-wide counters/gauges/histograms,
+//               JSON + Prometheus text exposition), ExplainTrace
+//               (per-query estimation traces)
 //   util::      Status / Result, ThreadPool
 //
 // Everything under src/ not reachable from this header (hist/, cst/,
@@ -29,6 +33,8 @@
 #include "data/imdb.h"
 #include "data/swissprot.h"
 #include "data/xmark.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "query/evaluator.h"
 #include "query/twig.h"
 #include "query/workload.h"

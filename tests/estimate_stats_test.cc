@@ -1,0 +1,118 @@
+// Golden tests for EstimateStats diagnostics: hand-built synopses where
+// the exact mix of estimation mechanisms is known, pinning the
+// covered (E_i) / uniformity (U_i) / conditioned (D_i) / value /
+// existential / '//'-chain counters. These counts are part of the
+// observability contract — dashboards and the explain renderer interpret
+// them — so a change here must be a deliberate estimator change, not
+// drift.
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "data/figures.h"
+#include "query/xpath_parser.h"
+
+namespace xsketch::core {
+namespace {
+
+EstimateStats StatsForPath(const TwigXSketch& sketch, const char* path) {
+  auto q = query::ParsePath(path, sketch.doc().tags());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return Estimator(sketch).EstimateWithStats(q.value());
+}
+
+TEST(EstimateStatsTest, BibliographyCoveredOnly) {
+  // Coarsest bibliography synopsis: the paper->keyword edge is covered by
+  // the keyword-count histogram (2 buckets read), nothing falls back to
+  // uniformity and no conditioning happens.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  const EstimateStats s = StatsForPath(sketch, "//paper/keyword");
+  EXPECT_DOUBLE_EQ(s.estimate, 5.0);
+  EXPECT_EQ(s.covered_terms, 2);
+  EXPECT_EQ(s.uniformity_terms, 0);
+  EXPECT_EQ(s.conditioned_nodes, 0);
+  EXPECT_EQ(s.value_fractions, 0);
+  EXPECT_EQ(s.existential_terms, 0);
+  EXPECT_EQ(s.descendant_chains, 0);
+}
+
+TEST(EstimateStatsTest, BibliographyMixedCoveredAndUniform) {
+  // //author/paper/title: the author->paper step reads the 2-bucket paper
+  // histogram (E), the paper->title step is uncovered at its node so the
+  // bucket loop collapses to the unit point — one Forward Uniformity (U)
+  // fallback per paper extent reached from each author bucket.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  const EstimateStats s = StatsForPath(sketch, "//author/paper/title");
+  EXPECT_DOUBLE_EQ(s.estimate, 4.0);
+  EXPECT_EQ(s.covered_terms, 2);
+  EXPECT_EQ(s.uniformity_terms, 2);
+  EXPECT_EQ(s.conditioned_nodes, 0);
+  EXPECT_EQ(s.existential_terms, 0);
+}
+
+TEST(EstimateStatsTest, BibliographyBranchingPredicate) {
+  // //paper[keyword]/title: the branch contributes one existential factor
+  // per histogram bucket.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  const EstimateStats s = StatsForPath(sketch, "//paper[keyword]/title");
+  EXPECT_DOUBLE_EQ(s.estimate, 4.0);
+  EXPECT_EQ(s.covered_terms, 2);
+  EXPECT_EQ(s.uniformity_terms, 2);
+  EXPECT_EQ(s.existential_terms, 2);
+  EXPECT_EQ(s.descendant_chains, 0);
+}
+
+TEST(EstimateStatsTest, BibliographyValueAndBranching) {
+  // //paper[year>=2001]/keyword: value-predicate fractions apply at each
+  // enumerated paper bucket alongside the existential year branch.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  const EstimateStats s =
+      StatsForPath(sketch, "//paper[year>=2001]/keyword");
+  EXPECT_DOUBLE_EQ(s.estimate, 2.5);
+  EXPECT_EQ(s.covered_terms, 2);
+  EXPECT_EQ(s.uniformity_terms, 2);
+  EXPECT_EQ(s.value_fractions, 2);
+  EXPECT_EQ(s.existential_terms, 2);
+}
+
+TEST(EstimateStatsTest, BibliographyDescendantExpansion) {
+  // //bib//keyword: one '//' step expanded into a single maximal chain
+  // (bib -> ... -> keyword); the chain's first step reads the histogram.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  const EstimateStats s = StatsForPath(sketch, "//bib//keyword");
+  EXPECT_DOUBLE_EQ(s.estimate, 5.0);
+  EXPECT_EQ(s.descendant_chains, 1);
+  EXPECT_EQ(s.covered_terms, 1);
+  EXPECT_EQ(s.uniformity_terms, 0);
+}
+
+TEST(EstimateStatsTest, Figure4JointHistogramCounts) {
+  // The paper's Figure 4 document with the 2-D (b, c) histogram: both
+  // child steps of every enumerated bucket are covered — 4 E terms (2
+  // buckets x 2 children), no uniformity fallbacks — and the estimate is
+  // the exact 2000.
+  xml::Document doc = data::MakeFigure4A();
+  CoarsestOptions opts;
+  opts.max_initial_dims = 2;
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc, opts);
+  auto q = query::ParseForClause("for t0 in //a, t1 in t0/b, t2 in t0/c",
+                                 doc.tags());
+  ASSERT_TRUE(q.ok());
+  const EstimateStats s = Estimator(sketch).EstimateWithStats(q.value());
+  EXPECT_DOUBLE_EQ(s.estimate, 2000.0);
+  EXPECT_EQ(s.covered_terms, 4);
+  EXPECT_EQ(s.uniformity_terms, 0);
+  EXPECT_EQ(s.conditioned_nodes, 0);
+  EXPECT_EQ(s.value_fractions, 0);
+  EXPECT_EQ(s.existential_terms, 0);
+  EXPECT_EQ(s.descendant_chains, 0);
+}
+
+}  // namespace
+}  // namespace xsketch::core

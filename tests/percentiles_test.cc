@@ -1,0 +1,48 @@
+#include "util/percentiles.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xsketch::util {
+namespace {
+
+TEST(PercentilesTest, EmptySampleYieldsZero) {
+  std::vector<double> xs;
+  EXPECT_EQ(PercentileSorted(xs, 0.5), 0.0);
+  EXPECT_EQ(Percentile(xs, 0.95), 0.0);
+}
+
+TEST(PercentilesTest, SingleElement) {
+  std::vector<double> xs = {7.0};
+  EXPECT_EQ(Percentile(xs, 0.0), 7.0);
+  EXPECT_EQ(Percentile(xs, 0.5), 7.0);
+  EXPECT_EQ(Percentile(xs, 1.0), 7.0);
+}
+
+TEST(PercentilesTest, NearestRankOnSortedInput) {
+  // Ranks: p * (n - 1), rounded to nearest. n = 5 -> p50 is index 2,
+  // p95 is round(3.8) = index 4.
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(PercentileSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(PercentileSorted(sorted, 0.50), 3.0);
+  EXPECT_EQ(PercentileSorted(sorted, 0.95), 5.0);
+  EXPECT_EQ(PercentileSorted(sorted, 1.0), 5.0);
+}
+
+TEST(PercentilesTest, SortsUnsortedInPlace) {
+  std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(Percentile(xs, 0.5), 3.0);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+}
+
+TEST(PercentilesTest, MatchesLegacyConvention) {
+  // The exact formula previously duplicated in core/builder.cc and
+  // service/estimation_service.cc: index = llround(p * (n - 1)). Pin a
+  // case where rounding matters: n = 4, p = 0.5 -> 1.5 rounds to 2.
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_EQ(Percentile(xs, 0.5), 30.0);
+}
+
+}  // namespace
+}  // namespace xsketch::util

@@ -10,8 +10,9 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-# builder_test covers the parallel XBUILD candidate-scoring path.
-TARGETS=(service_test estimator_test builder_test)
+# builder_test covers the parallel XBUILD candidate-scoring path;
+# obs_test drives concurrent writers through the shared MetricsRegistry.
+TARGETS=(service_test estimator_test builder_test obs_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do
