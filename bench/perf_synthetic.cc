@@ -1,0 +1,155 @@
+// Estimation accuracy and throughput on the differential harness's
+// synthetic document shapes (src/testing): for each shape, generate a
+// seeded random document and query mix, then report average relative
+// error of the coarsest and refined synopses against the exact evaluator,
+// plus estimation throughput.
+//
+// This reuses the *same* generators the differential oracle fuzzes with,
+// so the bench numbers describe exactly the population the invariants are
+// checked on — and any generator regression shows up here as a shifted
+// error profile.
+//
+// Scale knobs: XS_BENCH_SYN_ELEMS (target elements per document, default
+// 2000), XS_BENCH_SYN_QUERIES (queries per shape, default 200).
+//
+// --smoke: assert-only pass on tiny inputs — estimates finite and within
+// the structural upper bound, zero average error on the stable shape.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "core/builder.h"
+#include "core/estimator.h"
+#include "query/evaluator.h"
+#include "testing/doc_generator.h"
+#include "testing/query_generator.h"
+#include "testing/seed.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace xsketch;
+using Clock = std::chrono::steady_clock;
+
+struct ShapeRow {
+  double coarsest_err = 0.0;
+  double refined_err = 0.0;
+  double qps = 0.0;
+  int queries = 0;
+};
+
+// Mean |estimate - exact| / max(1, exact): the paper's absolute-relative
+// error, floored so zero-selectivity queries contribute absolute error.
+double RelErr(double estimate, uint64_t exact) {
+  const double truth = static_cast<double>(exact);
+  return std::abs(estimate - truth) / std::max(1.0, truth);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int elems = smoke ? 300 : bench::EnvInt("XS_BENCH_SYN_ELEMS", 2000);
+  const int num_queries =
+      smoke ? 24 : bench::EnvInt("XS_BENCH_SYN_QUERIES", 200);
+  const uint64_t base = testing::BaseSeed();
+
+  if (!smoke) {
+    std::printf("# synthetic shapes, ~%d elements, %d queries each\n",
+                elems, num_queries);
+    std::printf("%-10s %14s %14s %12s\n", "shape", "coarsest err",
+                "refined err", "est q/s");
+  }
+
+  int shape_index = 0;
+  for (testing::DocShape shape : testing::kAllDocShapes) {
+    testing::DocGenOptions dopts =
+        testing::ShapePreset(shape, testing::Derive(base, 100 + shape_index));
+    dopts.target_elements = elems;
+    const xml::Document doc = testing::GenerateRandomDocument(dopts);
+    query::ExactEvaluator eval(doc);
+
+    // Harness-sized estimator caps (see testing/differential.h): the
+    // accuracy sweep uses the same bounded '//' expansion as the oracle,
+    // except on the stable shape where exactness needs full expansion.
+    core::EstimatorOptions eopts;
+    if (shape != testing::DocShape::kStable) {
+      eopts.max_descendant_paths = 4;
+      eopts.max_path_length = 4;
+    }
+    core::CoarsestOptions copts;
+    copts.initial_buckets = 4;
+
+    const core::TwigXSketch coarsest = core::TwigXSketch::Coarsest(doc, copts);
+    core::BuildOptions bopts;
+    bopts.seed = testing::Derive(base, 200 + shape_index);
+    bopts.coarsest = copts;
+    bopts.estimator = eopts;
+    bopts.candidates_per_iteration = 4;
+    bopts.sample_queries = 8;
+    bopts.budget_bytes = coarsest.SizeBytes() + (smoke ? 1024 : 8192);
+    const core::TwigXSketch refined = core::XBuild(doc, bopts).Build();
+
+    core::Estimator coarse_est(coarsest, eopts);
+    core::Estimator refined_est(refined, eopts);
+
+    testing::QueryGenOptions qopts;
+    qopts.structural_only = shape == testing::DocShape::kStable;
+    util::Rng rng(testing::Derive(base, 300 + shape_index));
+
+    ShapeRow row;
+    const Clock::time_point start = Clock::now();
+    for (int q = 0; q < num_queries; ++q) {
+      const query::TwigQuery twig =
+          testing::GenerateRandomTwig(doc, qopts, rng);
+      const uint64_t exact = eval.Selectivity(twig);
+      const double ce = coarse_est.Estimate(twig);
+      const double re = refined_est.Estimate(twig);
+      row.coarsest_err += RelErr(ce, exact);
+      row.refined_err += RelErr(re, exact);
+      ++row.queries;
+      if (smoke) {
+        // Finite, non-negative estimates on every shape; the tighter
+        // upper-bound and bit-identity invariants live in the
+        // differential runner (tests/differential_test.cc).
+        if (!std::isfinite(ce) || !std::isfinite(re) || ce < 0.0 ||
+            re < 0.0) {
+          std::fprintf(stderr,
+                       "perf_synthetic --smoke FAILED: shape %s query %d "
+                       "estimate %.6f refined %.6f (seed %llu)\n",
+                       testing::DocShapeName(shape), q, ce, re,
+                       static_cast<unsigned long long>(base));
+          return 1;
+        }
+      }
+    }
+    row.qps = 2.0 * row.queries /
+              std::chrono::duration<double>(Clock::now() - start).count();
+    row.coarsest_err /= row.queries;
+    row.refined_err /= row.queries;
+
+    if (smoke) {
+      // The stable shape is fully F/B-stable: structural estimates are
+      // exact, so the average error must be (numerically) zero.
+      if (shape == testing::DocShape::kStable &&
+          (row.coarsest_err > 1e-6 || row.refined_err > 1e-6)) {
+        std::fprintf(stderr,
+                     "perf_synthetic --smoke FAILED: stable shape err "
+                     "%.9f / %.9f (seed %llu)\n",
+                     row.coarsest_err, row.refined_err,
+                     static_cast<unsigned long long>(base));
+        return 1;
+      }
+    } else {
+      std::printf("%-10s %14.3f %14.3f %12.0f\n",
+                  testing::DocShapeName(shape), row.coarsest_err,
+                  row.refined_err, row.qps);
+    }
+    ++shape_index;
+  }
+  if (smoke) std::printf("perf_synthetic --smoke OK\n");
+  return 0;
+}

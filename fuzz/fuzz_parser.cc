@@ -1,0 +1,28 @@
+// Fuzz target: the XML parser must never crash, and every document it
+// accepts must survive the writer round trip. The first write may
+// normalize text the parser accepted verbatim (e.g. CDATA payloads whose
+// trailing whitespace the plain-text path would trim), so the invariant
+// is two-round stabilization: the *second* write is a fixed point.
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/check.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto doc = xsketch::xml::ParseDocument(input);
+  if (!doc.ok()) return 0;
+
+  const std::string text = xsketch::xml::WriteDocument(doc.value());
+  auto again = xsketch::xml::ParseDocument(text);
+  XS_CHECK_MSG(again.ok(), "writer output must reparse");
+  const std::string text2 = xsketch::xml::WriteDocument(again.value());
+  auto third = xsketch::xml::ParseDocument(text2);
+  XS_CHECK_MSG(third.ok(), "second writer output must reparse");
+  XS_CHECK_MSG(xsketch::xml::WriteDocument(third.value()) == text2,
+               "round trip must stabilize after one normalization pass");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz target: LoadSketch must reject arbitrary bytes cleanly (no crash,
+// no abort), and any bytes it accepts must re-save to a loadable sketch
+// whose re-saved form is a fixed point.
+
+#include <cstdint>
+#include <string>
+
+#include "core/serialize.h"
+#include "core/twig_xsketch.h"
+#include "data/figures.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const xsketch::xml::Document* doc =
+      new xsketch::xml::Document(xsketch::data::MakeBibliography());
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  auto sketch = xsketch::core::LoadSketch(bytes, *doc);
+  if (!sketch.ok()) return 0;
+
+  const std::string saved = xsketch::core::SaveSketch(sketch.value());
+  auto again = xsketch::core::LoadSketch(saved, *doc);
+  XS_CHECK_MSG(again.ok(), "re-saved sketch must load");
+  XS_CHECK_MSG(xsketch::core::SaveSketch(again.value()) == saved,
+               "save -> load -> save must be a fixed point");
+  return 0;
+}

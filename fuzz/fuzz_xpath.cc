@@ -1,0 +1,41 @@
+// Fuzz target: the XPath/for-clause parser must never crash, and every
+// query it accepts must be structurally valid, render back through
+// ToString, and estimate cleanly against a real sketch.
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/estimator.h"
+#include "core/twig_xsketch.h"
+#include "data/figures.h"
+#include "query/xpath_parser.h"
+#include "util/check.h"
+
+namespace {
+
+struct Fixture {
+  xsketch::xml::Document doc = xsketch::data::MakeBibliography();
+  xsketch::core::TwigXSketch sketch =
+      xsketch::core::TwigXSketch::Coarsest(doc);
+  xsketch::core::Estimator estimator{sketch};
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static Fixture* fixture = new Fixture();
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  for (auto* parse : {&xsketch::query::ParsePath,
+                      &xsketch::query::ParseForClause}) {
+    auto twig = parse(input, fixture->doc.tags());
+    if (!twig.ok()) continue;
+    XS_CHECK_MSG(twig.value().Validate().ok(),
+                 "parser emitted an invalid twig");
+    (void)twig.value().ToString(fixture->doc.tags());
+    auto est = fixture->estimator.EstimateChecked(twig.value());
+    XS_CHECK_MSG(est.ok(), "valid parsed twig must estimate");
+    XS_CHECK_MSG(est.value().estimate >= 0.0, "estimates are non-negative");
+  }
+  return 0;
+}

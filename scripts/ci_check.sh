@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Local CI driver: one command that runs everything the repo considers
+# mandatory before a merge.
+#
+#   scripts/ci_check.sh               # build + tiered ctest + fuzz smoke
+#   scripts/ci_check.sh --sanitizers  # additionally run the TSan/ASan
+#                                     # matrix (tests/run_sanitizers.sh)
+#
+# Test tiers are ctest labels (see tests/CMakeLists.txt, bench/):
+#   unit          fast deterministic suites
+#   differential  the randomized differential oracle sweep
+#   bench_smoke   assert-only --smoke pass over the perf benches
+#
+# Fuzzers build via -DXSKETCH_FUZZERS=ON (libFuzzer under clang, the
+# standalone replay/mutation driver under gcc) and get a short
+# deterministic mutation run each — enough to catch error-path
+# regressions, not a substitute for long fuzzing.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-ci"
+SANITIZERS=0
+[ "${1:-}" = "--sanitizers" ] && SANITIZERS=1
+
+echo "=== configure + build (with fuzzers) ==="
+cmake -B "$BUILD" -S "$ROOT" -DXSKETCH_FUZZERS=ON > /dev/null
+cmake --build "$BUILD" -j"$(nproc)"
+
+for tier in unit differential bench_smoke; do
+  echo "=== ctest tier: $tier ==="
+  (cd "$BUILD" && ctest -L "$tier" --output-on-failure -j"$(nproc)")
+done
+
+echo "=== fuzz smoke (10s per target) ==="
+for f in fuzz_parser fuzz_xpath fuzz_sketch_load; do
+  corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
+  echo "--- $f ---"
+  "$BUILD/fuzz/$f" -max_total_time=10 -seed=1 "$corpus"
+done
+
+if [ "$SANITIZERS" = 1 ]; then
+  "$ROOT/tests/run_sanitizers.sh"
+fi
+
+echo "ci_check: all green"

@@ -189,6 +189,12 @@ util::Result<TwigXSketch> LoadSketchImpl(const std::string& bytes,
   if (!reader.GetU32(&node_count)) {
     return util::Status::ParseError("truncated partition");
   }
+  // Every synopsis node has a non-empty extent, so more nodes than
+  // document elements cannot be valid — and an unchecked count from
+  // untrusted bytes would size the config vector below.
+  if (node_count == 0 || node_count > doc_size) {
+    return util::Status::ParseError("implausible synopsis node count");
+  }
   std::vector<SynNodeId> partition(doc_size);
   for (uint32_t e = 0; e < doc_size; ++e) {
     if (!reader.GetU32(&partition[e])) {

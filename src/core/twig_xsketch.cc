@@ -119,8 +119,12 @@ util::Result<TwigXSketch> TwigXSketch::Restore(
     const NodeConfig& cfg = configs[n];
     s.bucket_budget = cfg.bucket_budget;
     s.value_bucket_budget = cfg.value_bucket_budget;
+    // Node ids inside CountRefs come straight from the (possibly
+    // untrusted) serialized bytes — range-check them before FindEdge
+    // indexes the synopsis' edge lists.
     for (const CountRef& ref : cfg.scope) {
-      if (sketch.synopsis_.FindEdge(ref.from, ref.to) == nullptr ||
+      if (ref.from >= node_count || ref.to >= node_count ||
+          sketch.synopsis_.FindEdge(ref.from, ref.to) == nullptr ||
           (ref.forward && ref.from != n) ||
           (!ref.forward && !sketch.BackwardRefLegal(n, ref))) {
         return util::Status::InvalidArgument(
@@ -129,7 +133,8 @@ util::Result<TwigXSketch> TwigXSketch::Restore(
       s.scope.push_back(ref);
     }
     for (const CountRef& ref : cfg.value_scope) {
-      if (sketch.synopsis_.FindEdge(ref.from, ref.to) == nullptr) {
+      if (ref.from >= node_count || ref.to >= node_count ||
+          sketch.synopsis_.FindEdge(ref.from, ref.to) == nullptr) {
         return util::Status::InvalidArgument(
             "saved value scope references a nonexistent edge");
       }

@@ -123,11 +123,9 @@ util::Status TwigQuery::Validate() const {
             " does not point back at its parent " + std::to_string(i));
       }
     }
-    if (n.pred.has_value() && n.pred->lo > n.pred->hi) {
-      return util::Status::InvalidArgument(
-          "twig node " + std::to_string(i) + " has empty value range " +
-          n.pred->ToString());
-    }
+    // Empty value ranges (lo > hi) are deliberately *valid*: they match
+    // no element, so the query's selectivity is 0 — the exact evaluator
+    // and the estimator agree on that (pinned by EmptyValueRange tests).
   }
   return util::Status::OK();
 }
@@ -166,7 +164,11 @@ std::string TwigQuery::ToString(const util::StringInterner& tags) const {
              std::to_string(n.parent);
       out += (n.axis == Axis::kDescendant) ? "//" : "/";
     }
-    out += tags.Get(n.tag);
+    // Tags outside the interner (kUnknownTag from the XPath parser, or a
+    // caller's stray id) render as a placeholder instead of crashing —
+    // such queries are valid and simply match nothing.
+    out += n.tag < tags.size() ? tags.Get(n.tag)
+                               : "<unknown:" + std::to_string(n.tag) + ">";
     if (n.pred.has_value()) out += "[." + n.pred->ToString() + "]";
     if (n.existential) out += " (exists)";
   }

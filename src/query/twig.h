@@ -27,7 +27,9 @@
 namespace xsketch::query {
 
 // Inclusive integer range predicate on an element's own (numeric) value.
-// Non-numeric or missing values never match.
+// Non-numeric or missing values never match. An empty range (lo > hi) is
+// valid and matches nothing: such queries have selectivity exactly 0, in
+// both the exact evaluator and the estimator.
 struct ValuePredicate {
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
@@ -86,8 +88,9 @@ class TwigQuery {
 
   // Structural well-formedness: non-empty, node 0 is the root, parent
   // links topologically ordered and mirrored by children lists (no
-  // dangling branches), root not existential, value predicates non-empty
-  // ranges. Queries built exclusively through AddNode are always valid;
+  // dangling branches), root not existential. Empty value-predicate
+  // ranges are valid (selectivity 0, see ValuePredicate). Queries built
+  // exclusively through AddNode are always valid;
   // this guards twigs assembled or mutated by callers before they reach
   // estimation entry points that would otherwise XS_CHECK-abort.
   util::Status Validate() const;

@@ -1,0 +1,309 @@
+#include "testing/doc_generator.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testing/seed.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace xsketch::testing {
+
+namespace {
+
+// A per-seed random schema: for every tag, the set of child tags it may
+// produce with per-edge fanout ranges, plus value behaviour. Child tag
+// ids are drawn from indices *above* the parent's by default so the
+// schema DAG terminates; kRecursive deliberately wires back edges.
+struct TagRule {
+  struct ChildSpec {
+    int tag = 0;          // schema tag index
+    int min_count = 0;
+    int max_count = 1;    // inclusive
+    double skip_prob = 0.0;  // probability the element has none at all
+  };
+  std::vector<ChildSpec> children;
+  bool has_value = false;
+  int64_t value_lo = 0;
+  int64_t value_hi = 0;
+  bool value_counts_children = false;  // kSkewed correlation
+  double value_theta = 0.0;            // > 0: Zipf ranks over the domain
+};
+
+struct Schema {
+  std::vector<TagRule> rules;  // indexed by schema tag
+  int root_tag = 0;
+};
+
+std::string TagName(int index) { return "t" + std::to_string(index); }
+
+// Worst-case element count of the subtree a tag generates. Stable schemas
+// are acyclic (child tag indices strictly increase), so this is finite and
+// computable bottom-up.
+size_t SchemaSubtreeSize(const Schema& schema, int tag,
+                         std::vector<size_t>& memo) {
+  if (memo[tag] != 0) return memo[tag];
+  size_t total = 1;
+  for (const TagRule::ChildSpec& spec : schema.rules[tag].children) {
+    total += static_cast<size_t>(spec.max_count) *
+             SchemaSubtreeSize(schema, spec.tag, memo);
+  }
+  return memo[tag] = total;
+}
+
+// kStable documents are generated without truncation (a mid-generation
+// cut would leave same-tag elements with different children, destroying
+// stability), so the *schema* is pruned until its worst-case size fits:
+// drop child specs from the highest-indexed fertile tag until bounded.
+void BoundStableSchema(Schema& schema, size_t limit) {
+  for (;;) {
+    std::vector<size_t> memo(schema.rules.size(), 0);
+    if (SchemaSubtreeSize(schema, schema.root_tag, memo) <= limit) return;
+    for (int t = static_cast<int>(schema.rules.size()) - 1; t >= 0; --t) {
+      if (!schema.rules[t].children.empty()) {
+        schema.rules[t].children.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+Schema MakeSchema(const DocGenOptions& o, util::Rng& rng) {
+  Schema schema;
+  const int n = std::max(2, o.label_alphabet);
+  schema.rules.resize(n);
+  const bool stable = o.shape == DocShape::kStable;
+  const bool skewed = o.shape == DocShape::kSkewed;
+  const bool wide = o.shape == DocShape::kWide;
+
+  for (int t = 0; t < n; ++t) {
+    TagRule& rule = schema.rules[t];
+    if (t + 1 < n) {
+      // Backbone: every fertile tag is guaranteed at least one t+1 child,
+      // so documents never go extinct at a handful of elements — a chain
+      // through the whole alphabet always exists (depth-capped later).
+      {
+        TagRule::ChildSpec backbone;
+        backbone.tag = t + 1;
+        if (stable) {
+          const int k = 1 + static_cast<int>(rng.Uniform(2));
+          backbone.min_count = backbone.max_count = k;
+        } else {
+          backbone.min_count = 1;
+          backbone.max_count = wide ? 2 * o.max_fanout : o.max_fanout;
+        }
+        rule.children.push_back(backbone);
+      }
+      // Extra child tags strictly above t so plain schemas stay acyclic.
+      const int max_children = wide ? 4 : 3;
+      const int num_children =
+          1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+                  std::min(max_children, n - 1 - t))));
+      std::vector<int> picked = {t + 1};
+      for (int c = 0; c < num_children; ++c) {
+        const int child =
+            t + 1 +
+            static_cast<int>(rng.Uniform(static_cast<uint64_t>(n - 1 - t)));
+        if (std::find(picked.begin(), picked.end(), child) != picked.end()) {
+          continue;
+        }
+        picked.push_back(child);
+        TagRule::ChildSpec spec;
+        spec.tag = child;
+        if (stable) {
+          // Identical counts for every element: [k, k], never skipped.
+          // Small k bounds the (untruncated) document size.
+          const int k = 1 + static_cast<int>(rng.Uniform(2));
+          spec.min_count = spec.max_count = k;
+        } else if (wide) {
+          spec.min_count = 0;
+          spec.max_count = 2 * o.max_fanout;
+          spec.skip_prob = 0.2;
+        } else {
+          spec.min_count = 0;
+          spec.max_count = o.max_fanout;
+          spec.skip_prob = skewed ? 0.5 : 0.25;
+        }
+        rule.children.push_back(spec);
+      }
+      // kRecursive: wire a back edge to an ancestor-range tag, creating
+      // parlist/listitem-style nesting (the synopsis graph goes cyclic).
+      if (o.shape == DocShape::kRecursive &&
+          rng.Bernoulli(o.recursion_prob)) {
+        TagRule::ChildSpec back;
+        back.tag = static_cast<int>(rng.Uniform(static_cast<uint64_t>(t + 1)));
+        back.min_count = 0;
+        back.max_count = 1;
+        back.skip_prob = 0.5;
+        rule.children.push_back(back);
+      }
+    } else if (o.shape == DocShape::kRecursive) {
+      // The last tag always recurses (count 1, never skipped): recursive
+      // documents must actually contain ancestor-tag repetitions — the
+      // probabilistic back edges above can all miss for a given seed.
+      // Bounded by the depth cap and the element target like everything
+      // else.
+      TagRule::ChildSpec back;
+      back.tag = static_cast<int>(rng.Uniform(static_cast<uint64_t>(t)));
+      back.min_count = 1;
+      back.max_count = 1;
+      rule.children.push_back(back);
+    }
+    if (rule.children.empty() || rng.Bernoulli(o.value_prob)) {
+      rule.has_value = true;
+      rule.value_lo = rng.UniformInt(-50, 50);
+      rule.value_hi = rule.value_lo + rng.UniformInt(1, 200);
+      rule.value_counts_children = skewed && !rule.children.empty();
+      rule.value_theta = skewed ? o.zipf_theta : 0.0;
+    }
+  }
+  schema.root_tag = 0;
+  return schema;
+}
+
+}  // namespace
+
+const char* DocShapeName(DocShape shape) {
+  switch (shape) {
+    case DocShape::kUniform:   return "uniform";
+    case DocShape::kSkewed:    return "skewed";
+    case DocShape::kWide:      return "wide";
+    case DocShape::kRecursive: return "recursive";
+    case DocShape::kStable:    return "stable";
+  }
+  return "?";
+}
+
+DocGenOptions ShapePreset(DocShape shape, uint64_t seed) {
+  DocGenOptions o;
+  o.seed = seed;
+  o.shape = shape;
+  switch (shape) {
+    case DocShape::kUniform:
+      o.target_elements = 500;
+      o.max_depth = 7;
+      o.max_fanout = 4;
+      o.label_alphabet = 12;
+      break;
+    case DocShape::kSkewed:
+      o.target_elements = 500;
+      o.max_depth = 7;
+      o.max_fanout = 8;
+      o.label_alphabet = 10;
+      o.zipf_theta = 1.2;
+      break;
+    case DocShape::kWide:
+      o.target_elements = 600;
+      o.max_depth = 4;
+      o.max_fanout = 6;
+      o.label_alphabet = 20;
+      break;
+    case DocShape::kRecursive:
+      o.target_elements = 400;
+      o.max_depth = 10;
+      o.max_fanout = 3;
+      o.label_alphabet = 6;
+      o.recursion_prob = 0.5;
+      break;
+    case DocShape::kStable:
+      o.max_depth = 8;
+      o.label_alphabet = 9;  // bounds untruncated size at counts <= 2
+      break;
+  }
+  return o;
+}
+
+xml::Document GenerateRandomDocument(const DocGenOptions& options) {
+  XS_CHECK(options.label_alphabet >= 2);
+  XS_CHECK(options.target_elements >= 1);
+  util::Rng rng(Derive(options.seed, 0x0Dull));
+  Schema schema = MakeSchema(options, rng);
+  const bool stable = options.shape == DocShape::kStable;
+  if (stable) {
+    BoundStableSchema(schema,
+                      static_cast<size_t>(options.target_elements) * 4);
+  }
+
+  // Zipf sampler for skewed fanouts (rank 0 = max_count, last = 0).
+  std::unique_ptr<util::ZipfSampler> zipf;
+  if (options.shape == DocShape::kSkewed) {
+    zipf = std::make_unique<util::ZipfSampler>(
+        static_cast<uint64_t>(options.max_fanout + 1), options.zipf_theta);
+  }
+
+  xml::Document doc;
+  struct Pending {
+    xml::NodeId node;
+    int tag;
+    int depth;
+  };
+  std::deque<Pending> frontier;
+  const xml::NodeId root =
+      doc.AddNode(xml::kInvalidNode, TagName(schema.root_tag));
+  frontier.push_back({root, schema.root_tag, 0});
+  // Hard cap: kStable must never truncate (schema bounds its size); the
+  // other shapes stop expanding once the target is reached.
+  const size_t cap = stable ? static_cast<size_t>(-1)
+                            : static_cast<size_t>(options.target_elements);
+
+  while (!frontier.empty()) {
+    const Pending cur = frontier.front();
+    frontier.pop_front();
+    const TagRule& rule = schema.rules[cur.tag];
+
+    int children_added = 0;
+    if (cur.depth < options.max_depth) {
+      for (const TagRule::ChildSpec& spec : rule.children) {
+        if (!stable && doc.size() >= cap) break;
+        int count;
+        if (spec.min_count == spec.max_count) {
+          count = spec.min_count;
+        } else if (!stable && spec.skip_prob > 0.0 &&
+                   rng.Bernoulli(spec.skip_prob)) {
+          count = 0;
+        } else if (zipf != nullptr) {
+          // Zipf rank 0 is most frequent; using the rank as the count
+          // makes small fanouts common and huge fanouts rare (IMDB-style
+          // skew), clamped into the spec's range.
+          count = std::clamp(static_cast<int>(zipf->Sample(rng)),
+                             spec.min_count, spec.max_count);
+        } else {
+          count = static_cast<int>(
+              rng.UniformInt(spec.min_count, spec.max_count));
+        }
+        for (int c = 0; c < count; ++c) {
+          if (!stable && doc.size() >= cap) break;
+          const xml::NodeId child = doc.AddNode(cur.node, TagName(spec.tag));
+          frontier.push_back({child, spec.tag, cur.depth + 1});
+          ++children_added;
+        }
+      }
+    }
+
+    if (rule.has_value) {
+      if (stable) {
+        // Stability also needs value presence (not content) to be uniform
+        // per tag; fixed content keeps value histograms exact too.
+        doc.SetValue(cur.node, rule.value_lo);
+      } else if (rule.value_counts_children) {
+        doc.SetValue(cur.node, rule.value_lo + children_added);
+      } else if (rule.value_theta > 0.0) {
+        const uint64_t domain =
+            static_cast<uint64_t>(rule.value_hi - rule.value_lo) + 1;
+        util::ZipfSampler vz(std::min<uint64_t>(domain, 64), rule.value_theta);
+        doc.SetValue(cur.node, rule.value_lo +
+                                   static_cast<int64_t>(vz.Sample(rng)));
+      } else {
+        doc.SetValue(cur.node, rng.UniformInt(rule.value_lo, rule.value_hi));
+      }
+    }
+  }
+
+  doc.Seal();
+  return doc;
+}
+
+}  // namespace xsketch::testing

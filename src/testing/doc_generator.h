@@ -1,0 +1,73 @@
+// Seeded random XML document generator for the differential oracle
+// harness (ISSUE 5; mirrors the paper's Table-1 dataset axes).
+//
+// Documents are grown from a per-seed random *schema* — a tag alphabet
+// plus per-tag child-tag sets and fanout/value distributions — so that the
+// same seed always produces the same document, bit for bit, on every
+// platform (all randomness flows through SplitMix64/xoshiro via
+// util::Rng). Shapes dial the schema toward the structural profiles the
+// paper evaluates on:
+//
+//   kUniform    XMark-like: regular structure, uniform fanouts, uniform
+//               value distributions.
+//   kSkewed     IMDB-like: Zipf fanouts and tag choice, values correlated
+//               with the parent's child count (the paper's motivating
+//               genre <-> cast-size correlation).
+//   kWide       SwissProt-like: shallow and wide with a large alphabet.
+//   kRecursive  XMark parlist/listitem-style nesting: tags repeat along
+//               root-to-leaf paths, exercising cyclic synopsis graphs and
+//               the depth-bounded '//' expansion.
+//   kStable     perfectly regular: every element of a tag has an identical
+//               child multiset and value presence, so the label-split
+//               synopsis is fully F/B-stable and structural estimates must
+//               be *exact* (the harness's strongest oracle).
+
+#ifndef XSKETCH_TESTING_DOC_GENERATOR_H_
+#define XSKETCH_TESTING_DOC_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace xsketch::testing {
+
+enum class DocShape { kUniform, kSkewed, kWide, kRecursive, kStable };
+
+inline constexpr DocShape kAllDocShapes[] = {
+    DocShape::kUniform, DocShape::kSkewed, DocShape::kWide,
+    DocShape::kRecursive, DocShape::kStable};
+
+const char* DocShapeName(DocShape shape);
+
+struct DocGenOptions {
+  uint64_t seed = 1;
+  DocShape shape = DocShape::kUniform;
+
+  // Approximate element count; generation stops growing the frontier once
+  // reached (kStable ignores it — truncation would break stability — and
+  // bounds size through the schema instead).
+  int target_elements = 500;
+
+  // Schema knobs. Shape presets scale these; they are upper bounds, not
+  // exact values.
+  int max_depth = 8;        // root is depth 0
+  int max_fanout = 5;       // per-element children per child tag
+  int label_alphabet = 12;  // distinct tags (>= 2)
+  double value_prob = 0.5;  // probability a leaf tag carries numeric values
+  double zipf_theta = 1.0;  // skew of fanout/value ranks (kSkewed)
+
+  // kRecursive: probability that a child tag repeats one of its ancestors.
+  double recursion_prob = 0.4;
+};
+
+// Generates a sealed document. Deterministic in `options` (same options,
+// same bytes from xml::WriteDocument).
+xml::Document GenerateRandomDocument(const DocGenOptions& options);
+
+// Preset options for `shape` sized for differential-test latency (a few
+// hundred elements) with schema diversity driven by `seed`.
+DocGenOptions ShapePreset(DocShape shape, uint64_t seed);
+
+}  // namespace xsketch::testing
+
+#endif  // XSKETCH_TESTING_DOC_GENERATOR_H_

@@ -1,0 +1,188 @@
+#include "testing/query_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace xsketch::testing {
+
+using query::Axis;
+using query::TwigQuery;
+using query::ValuePredicate;
+
+namespace {
+
+// A value predicate around (or deliberately missing) the witness value.
+ValuePredicate MakePredicate(int64_t witness, bool empty_range,
+                             util::Rng& rng) {
+  ValuePredicate pred;
+  if (empty_range) {
+    // Pinned semantics: lo > hi is a valid predicate matching nothing.
+    pred.lo = witness + 1;
+    pred.hi = witness;
+    return pred;
+  }
+  switch (rng.Uniform(4)) {
+    case 0:  // point predicate on the witness
+      pred.lo = pred.hi = witness;
+      break;
+    case 1:  // one-sided range containing the witness
+      pred.lo = witness - static_cast<int64_t>(rng.Uniform(100));
+      break;
+    case 2:  // window containing the witness
+      pred.lo = witness - static_cast<int64_t>(rng.Uniform(20));
+      pred.hi = witness + static_cast<int64_t>(rng.Uniform(20));
+      break;
+    default:  // window likely *missing* the witness
+      pred.lo = witness + 1 + static_cast<int64_t>(rng.Uniform(50));
+      pred.hi = pred.lo + static_cast<int64_t>(rng.Uniform(30));
+      break;
+  }
+  return pred;
+}
+
+}  // namespace
+
+query::TwigQuery GenerateRandomTwig(const xml::Document& doc,
+                                    const QueryGenOptions& options,
+                                    util::Rng& rng) {
+  XS_CHECK(doc.sealed() && doc.size() > 0);
+  const int target = static_cast<int>(
+      rng.UniformInt(options.min_nodes, options.max_nodes));
+
+  // Root-to-witness chain, exactly as the documents realize it.
+  const xml::NodeId witness =
+      static_cast<xml::NodeId>(rng.Uniform(doc.size()));
+  std::vector<xml::NodeId> chain;
+  for (xml::NodeId cur = witness;; cur = doc.parent(cur)) {
+    chain.push_back(cur);
+    if (doc.parent(cur) == xml::kInvalidNode) break;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Keep a subsequence of the chain: the first kept element anchors the
+  // query ('/' for the document root, '//' when anchored deeper); every
+  // later kept element attaches with '/' when adjacent in the document and
+  // '//' when interior labels were elided. `desc_used` budgets '//' nodes
+  // across the whole query (see QueryGenOptions::max_descendant_nodes) —
+  // a run of consecutive elisions collapses into one '//' step.
+  std::vector<size_t> kept;
+  size_t start = 0;
+  if (chain.size() > 1 && rng.Bernoulli(0.5)) {
+    start = rng.Uniform(chain.size());
+  }
+  int desc_used = (start != 0) ? 1 : 0;
+  kept.push_back(start);
+  bool in_gap = false;
+  for (size_t i = start + 1; i < chain.size(); ++i) {
+    const bool last = (i + 1 == chain.size());
+    const bool can_elide =
+        in_gap || desc_used < options.max_descendant_nodes;
+    if (!last && can_elide &&
+        rng.Bernoulli(options.descendant_prob * 0.5)) {
+      if (!in_gap) ++desc_used;
+      in_gap = true;
+      continue;
+    }
+    kept.push_back(i);
+    in_gap = false;
+    if (kept.size() >= static_cast<size_t>(target)) break;
+  }
+
+  TwigQuery twig;
+  std::vector<xml::NodeId> witness_of;  // twig node -> witness element
+  int parent = TwigQuery::kNoParent;
+  for (size_t k = 0; k < kept.size(); ++k) {
+    Axis axis;
+    if (k == 0) {
+      axis = (kept[0] == 0) ? Axis::kChild : Axis::kDescendant;
+    } else if (kept[k] != kept[k - 1] + 1) {
+      axis = Axis::kDescendant;  // elided labels force '//'
+    } else if (desc_used < options.max_descendant_nodes &&
+               rng.Bernoulli(options.descendant_prob * 0.3)) {
+      // A redundant '//' on an adjacent step (legal: a child is also a
+      // descendant).
+      axis = Axis::kDescendant;
+      ++desc_used;
+    } else {
+      axis = Axis::kChild;
+    }
+    parent = twig.AddNode(parent, axis, doc.tag(chain[kept[k]]));
+    witness_of.push_back(chain[kept[k]]);
+  }
+
+  // Grow branches from witnessed elements until the budget is spent.
+  int attempts = 0;
+  while (twig.size() < target && attempts++ < 40) {
+    const int t = static_cast<int>(rng.Uniform(twig.size()));
+    if (twig.node(t).existential) continue;
+    const bool existential = rng.Bernoulli(options.existential_prob);
+    if (rng.Bernoulli(options.mismatch_prob)) {
+      // A context-free tag: often absent under t, making the branch (and
+      // for binding branches the whole query) zero-selectivity.
+      Axis axis = Axis::kChild;
+      if (desc_used < options.max_descendant_nodes && rng.Bernoulli(0.3)) {
+        axis = Axis::kDescendant;
+        ++desc_used;
+      }
+      twig.AddNode(t, axis,
+                   static_cast<xml::TagId>(rng.Uniform(doc.tag_count())),
+                   existential);
+      witness_of.push_back(witness_of[t]);  // placeholder; no value pin
+      continue;
+    }
+    const xml::NodeId el = witness_of[t];
+    std::vector<xml::NodeId> kids = doc.Children(el);
+    if (kids.empty()) continue;
+    const xml::NodeId pick = kids[rng.Uniform(kids.size())];
+    const int node = twig.AddNode(t, Axis::kChild, doc.tag(pick),
+                                  existential);
+    witness_of.push_back(pick);
+    // Occasionally deepen the branch, sometimes skipping a level with '//'.
+    if (twig.size() < target && rng.Bernoulli(0.4)) {
+      std::vector<xml::NodeId> gkids = doc.Children(pick);
+      if (!gkids.empty()) {
+        const xml::NodeId gpick = gkids[rng.Uniform(gkids.size())];
+        Axis axis = Axis::kChild;
+        if (desc_used < options.max_descendant_nodes &&
+            rng.Bernoulli(options.descendant_prob)) {
+          axis = Axis::kDescendant;
+          ++desc_used;
+        }
+        twig.AddNode(node, axis, doc.tag(gpick), existential);
+        witness_of.push_back(gpick);
+      }
+    }
+  }
+
+  // Value predicates on nodes whose witness carries a numeric value.
+  if (!options.structural_only &&
+      rng.Bernoulli(options.value_pred_prob)) {
+    std::vector<int> candidates;
+    for (int t = 0; t < twig.size(); ++t) {
+      if (doc.numeric_value(witness_of[t]).has_value() &&
+          !twig.node(t).pred.has_value()) {
+        candidates.push_back(t);
+      }
+    }
+    if (!candidates.empty()) {
+      const int npreds =
+          1 + static_cast<int>(rng.Uniform(
+                  std::min<size_t>(2, candidates.size())));
+      for (int i = 0; i < npreds; ++i) {
+        const int t = candidates[rng.Uniform(candidates.size())];
+        if (twig.node(t).pred.has_value()) continue;
+        const int64_t v = *doc.numeric_value(witness_of[t]);
+        twig.mutable_node(t).pred = MakePredicate(
+            v, rng.Bernoulli(options.empty_range_prob), rng);
+      }
+    }
+  }
+
+  XS_CHECK_MSG(twig.Validate().ok(),
+               "query generator emitted an invalid twig");
+  return twig;
+}
+
+}  // namespace xsketch::testing

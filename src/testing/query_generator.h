@@ -1,0 +1,63 @@
+// Seeded random twig-query generator over a document's actual label
+// paths.
+//
+// Unlike query::GeneratePositiveWorkload (which retries until non-zero
+// selectivity and mirrors the paper's Table-2 workload shapes), this
+// generator produces the *adversarial* mix a differential oracle needs:
+// positive and zero-selectivity queries, '//' steps at any depth (built by
+// eliding interior labels of a real root-to-witness path, so descendant
+// expansion has genuine multi-step alternatives), branching predicates,
+// value predicates — including deliberately empty (lo > hi) ranges — and
+// steps to labels absent from the witness context. Every emitted query
+// satisfies TwigQuery::Validate(); what varies is whether it matches
+// anything.
+
+#ifndef XSKETCH_TESTING_QUERY_GENERATOR_H_
+#define XSKETCH_TESTING_QUERY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "query/twig.h"
+#include "util/random.h"
+#include "xml/document.h"
+
+namespace xsketch::testing {
+
+struct QueryGenOptions {
+  // Total twig nodes, uniform in [min_nodes, max_nodes].
+  int min_nodes = 2;
+  int max_nodes = 7;
+  // Per-step probability that a chain step elides its interior labels and
+  // becomes a '//' step.
+  double descendant_prob = 0.3;
+  // Probability that a grown branch is existential (a branching
+  // predicate) rather than a binding node.
+  double existential_prob = 0.4;
+  // Probability that a query gets value predicates at all.
+  double value_pred_prob = 0.4;
+  // Given predicates: probability one of them is the empty range
+  // (lo > hi, selectivity 0 by definition — the pinned semantics).
+  double empty_range_prob = 0.05;
+  // Probability that a grown branch uses a random tag from the document
+  // alphabet instead of a witnessed child (usually zero-selectivity).
+  double mismatch_prob = 0.15;
+  // Hard cap on '//' nodes per query. Estimation cost multiplies per
+  // *nested* descendant step (each expands into synopsis path
+  // alternatives), so unbounded chains of '//' make worst-case queries
+  // exponentially slow on cyclic (recursive-shape) synopses.
+  int max_descendant_nodes = 2;
+  // Suppress value predicates entirely (stable-shape exactness checks are
+  // structural-only).
+  bool structural_only = false;
+};
+
+// Generates one random, always-Validate()-clean twig over `doc` (which
+// must be sealed and non-empty), drawing randomness from `rng` so callers
+// control the stream.
+query::TwigQuery GenerateRandomTwig(const xml::Document& doc,
+                                    const QueryGenOptions& options,
+                                    util::Rng& rng);
+
+}  // namespace xsketch::testing
+
+#endif  // XSKETCH_TESTING_QUERY_GENERATOR_H_

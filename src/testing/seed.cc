@@ -1,0 +1,41 @@
+#include "testing/seed.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace xsketch::testing {
+
+uint64_t BaseSeed(uint64_t fallback) {
+  static std::once_flag logged;
+  uint64_t seed = fallback;
+  bool from_env = false;
+  if (const char* env = std::getenv("XSKETCH_SEED");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 0);
+    if (end != nullptr && *end == '\0') {
+      seed = static_cast<uint64_t>(parsed);
+      from_env = true;
+    } else {
+      std::fprintf(stderr,
+                   "[xsketch] ignoring unparsable XSKETCH_SEED='%s'\n", env);
+    }
+  }
+  std::call_once(logged, [&] {
+    std::fprintf(stderr,
+                 "[xsketch] base seed %llu (%s; rerun with "
+                 "XSKETCH_SEED=%llu to reproduce)\n",
+                 static_cast<unsigned long long>(seed),
+                 from_env ? "from $XSKETCH_SEED" : "fixed default",
+                 static_cast<unsigned long long>(seed));
+  });
+  return seed;
+}
+
+std::string ReproCommand(uint64_t seed, const std::string& test_regex) {
+  return "XSKETCH_SEED=" + std::to_string(seed) + " ctest -R " + test_regex +
+         " --output-on-failure";
+}
+
+}  // namespace xsketch::testing

@@ -1,0 +1,190 @@
+// Differential oracle harness (see src/testing/differential.h): seeded
+// random (document, query) pairs checked against the exact evaluator and
+// the pipeline's own consistency invariants.
+//
+// Reproduction workflow: every stream derives from one base seed
+// (default fixed; override with XSKETCH_SEED=<n>). A failure prints the
+// exact per-document seed plus a minimized single-pair repro command
+// driven by XSKETCH_DIFF_SHAPE / XSKETCH_DIFF_DOC_SEED /
+// XSKETCH_DIFF_QUERY, which reruns just that pair via SinglePairRepro.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/twig_xsketch.h"
+#include "query/evaluator.h"
+#include "testing/differential.h"
+#include "testing/doc_generator.h"
+#include "testing/query_generator.h"
+#include "testing/seed.h"
+#include "util/random.h"
+#include "xml/writer.h"
+
+namespace xsketch {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+// --- Generator self-checks ------------------------------------------------
+
+TEST(DocGenerator, DeterministicPerSeed) {
+  for (xsketch::testing::DocShape shape : xsketch::testing::kAllDocShapes) {
+    const uint64_t seed = xsketch::testing::Derive(
+        xsketch::testing::BaseSeed(), static_cast<uint64_t>(shape) + 77);
+    xml::Document a = xsketch::testing::GenerateRandomDocument(
+        xsketch::testing::ShapePreset(shape, seed));
+    xml::Document b = xsketch::testing::GenerateRandomDocument(
+        xsketch::testing::ShapePreset(shape, seed));
+    EXPECT_EQ(xml::WriteDocument(a), xml::WriteDocument(b))
+        << xsketch::testing::DocShapeName(shape);
+  }
+}
+
+TEST(DocGenerator, SeedsActuallyVaryTheDocument) {
+  const uint64_t base = xsketch::testing::BaseSeed();
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 4; ++i) {
+    seen.insert(xml::WriteDocument(xsketch::testing::GenerateRandomDocument(
+        xsketch::testing::ShapePreset(xsketch::testing::DocShape::kSkewed,
+                                      xsketch::testing::Derive(base, i)))));
+  }
+  EXPECT_GE(seen.size(), 3u) << "seeds collapse to identical documents";
+}
+
+TEST(DocGenerator, RecursiveShapeRepeatsTagsAlongPaths) {
+  xml::Document doc = xsketch::testing::GenerateRandomDocument(
+      xsketch::testing::ShapePreset(xsketch::testing::DocShape::kRecursive,
+                                    xsketch::testing::BaseSeed()));
+  bool repeated = false;
+  for (xml::NodeId e = 0; e < doc.size() && !repeated; ++e) {
+    for (xml::NodeId a = doc.parent(e);
+         a != xml::kInvalidNode && !repeated; a = doc.parent(a)) {
+      repeated = doc.tag(a) == doc.tag(e);
+    }
+  }
+  EXPECT_TRUE(repeated)
+      << "recursive preset produced no ancestor tag repetition";
+}
+
+TEST(DocGenerator, StableShapeIsPerfectlyStable) {
+  // Every element of a tag must have an identical (tag -> count) child
+  // signature — the property the stable-exactness oracle relies on.
+  xml::Document doc = xsketch::testing::GenerateRandomDocument(
+      xsketch::testing::ShapePreset(xsketch::testing::DocShape::kStable,
+                                    xsketch::testing::BaseSeed()));
+  std::vector<std::string> signature_of_tag(doc.tag_count());
+  std::vector<bool> seen(doc.tag_count(), false);
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    std::string sig;
+    std::map<xml::TagId, int> counts;
+    doc.ForEachChild(e, [&](xml::NodeId c) { ++counts[doc.tag(c)]; });
+    for (const auto& [tag, n] : counts) {
+      sig += std::to_string(tag) + ":" + std::to_string(n) + ",";
+    }
+    sig += doc.has_value(e) ? "v" : "-";
+    if (!seen[doc.tag(e)]) {
+      seen[doc.tag(e)] = true;
+      signature_of_tag[doc.tag(e)] = sig;
+    } else {
+      ASSERT_EQ(signature_of_tag[doc.tag(e)], sig)
+          << "tag " << doc.tag_name(e) << " is not stable";
+    }
+  }
+}
+
+TEST(QueryGenerator, AlwaysValidAndShapesVary) {
+  xml::Document doc = xsketch::testing::GenerateRandomDocument(
+      xsketch::testing::ShapePreset(xsketch::testing::DocShape::kUniform,
+                                    xsketch::testing::BaseSeed()));
+  util::Rng rng(xsketch::testing::Derive(xsketch::testing::BaseSeed(), 5));
+  xsketch::testing::QueryGenOptions opts;
+  opts.empty_range_prob = 0.2;
+  int with_descendant = 0, with_branch = 0, with_pred = 0, empty_range = 0;
+  for (int i = 0; i < 200; ++i) {
+    query::TwigQuery q =
+        xsketch::testing::GenerateRandomTwig(doc, opts, rng);
+    ASSERT_TRUE(q.Validate().ok()) << q.ToString(doc.tags());
+    if (q.has_descendant_axis()) ++with_descendant;
+    if (q.has_branching()) ++with_branch;
+    if (q.value_predicate_count() > 0) ++with_pred;
+    for (int t = 0; t < q.size(); ++t) {
+      const auto& pred = q.node(t).pred;
+      if (pred.has_value() && pred->lo > pred->hi) ++empty_range;
+    }
+  }
+  // The generator must actually exercise every feature axis.
+  EXPECT_GT(with_descendant, 20);
+  EXPECT_GT(with_branch, 20);
+  EXPECT_GT(with_pred, 20);
+  EXPECT_GT(empty_range, 0);
+}
+
+// --- The differential sweep ----------------------------------------------
+//
+// >= 200 seeded (doc, query) pairs across all five document shapes; every
+// invariant must hold. Failure output includes the per-document seed and
+// the single-pair repro command. Budget: < 60 s (typically a few seconds
+// in RelWithDebInfo; XSKETCH_DIFF_DOCS / XSKETCH_DIFF_QUERIES shrink it
+// for sanitizer runs).
+
+TEST(Differential, SweepAllShapesAndInvariants) {
+  xsketch::testing::DifferentialOptions opts;
+  opts.seed = xsketch::testing::BaseSeed();
+  opts.docs_per_shape = EnvInt("XSKETCH_DIFF_DOCS", 2);
+  opts.queries_per_doc = EnvInt("XSKETCH_DIFF_QUERIES", 24);
+  opts.batch_threads = 8;
+  const xsketch::testing::DifferentialReport report =
+      xsketch::testing::RunDifferential(opts);
+
+  for (const auto& f : report.failures) {
+    ADD_FAILURE() << f.Describe() << "\n  (base seed "
+                  << xsketch::testing::BaseSeed() << "; full sweep: "
+                  << xsketch::testing::ReproCommand(
+                         xsketch::testing::BaseSeed(), "differential")
+                  << ")";
+  }
+  SCOPED_TRACE(report.Summary());
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  if (opts.docs_per_shape >= 2 && opts.queries_per_doc >= 20) {
+    EXPECT_GE(report.pairs, 200) << report.Summary();
+  }
+  EXPECT_GE(report.docs, 3 * opts.docs_per_shape);
+}
+
+// Minimized repro: reruns exactly one (document, query) pair named by the
+// environment (printed by every failure). Skipped in normal runs.
+TEST(Differential, SinglePairRepro) {
+  const char* shape_name = std::getenv("XSKETCH_DIFF_SHAPE");
+  const char* doc_seed_env = std::getenv("XSKETCH_DIFF_DOC_SEED");
+  if (shape_name == nullptr || doc_seed_env == nullptr) {
+    GTEST_SKIP() << "set XSKETCH_DIFF_SHAPE + XSKETCH_DIFF_DOC_SEED "
+                    "(+ XSKETCH_DIFF_QUERY) to rerun one pair";
+  }
+  xsketch::testing::DocShape shape = xsketch::testing::DocShape::kUniform;
+  bool found = false;
+  for (xsketch::testing::DocShape s : xsketch::testing::kAllDocShapes) {
+    if (std::string(shape_name) == xsketch::testing::DocShapeName(s)) {
+      shape = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "unknown XSKETCH_DIFF_SHAPE '" << shape_name << "'";
+  const uint64_t doc_seed = std::strtoull(doc_seed_env, nullptr, 0);
+  const int query = EnvInt("XSKETCH_DIFF_QUERY", -1);
+
+  const xsketch::testing::DifferentialReport report =
+      xsketch::testing::RunSinglePair(shape, doc_seed, query);
+  for (const auto& f : report.failures) ADD_FAILURE() << f.Describe();
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace xsketch

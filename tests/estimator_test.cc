@@ -526,11 +526,39 @@ TEST(EstimateCheckedTest, RejectsMalformedTwigs) {
   EXPECT_EQ(est.EstimateChecked(eroot).status().code(),
             util::StatusCode::kInvalidArgument);
 
-  // Empty value range.
-  query::TwigQuery bad_range = q.value();
-  bad_range.mutable_node(1).pred = query::ValuePredicate{10, 5};
-  EXPECT_EQ(est.EstimateChecked(bad_range).status().code(),
-            util::StatusCode::kInvalidArgument);
+}
+
+TEST(EstimatorTest, EmptyValueRangeIsValidAndEstimatesZero) {
+  // Pinned semantics: a value predicate with lo > hi is a *valid* query
+  // that matches nothing — Validate accepts it, the exact evaluator
+  // returns 0, and every estimation path returns exactly 0 (see
+  // query/twig.h; the differential harness generates such queries on
+  // purpose).
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  Estimator est(sketch);
+  auto q = query::ParsePath("//book/price", doc.tags());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  query::TwigQuery empty_range = q.value();
+  empty_range.mutable_node(1).pred = query::ValuePredicate{10, 5};
+  ASSERT_TRUE(empty_range.Validate().ok());
+  EXPECT_EQ(query::ExactEvaluator(doc).Selectivity(empty_range), 0u);
+  EXPECT_EQ(est.Estimate(empty_range), 0.0);
+  auto checked = est.EstimateChecked(empty_range);
+  ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+  EXPECT_EQ(checked.value().estimate, 0.0);
+
+  // Same on an existential branch: the branch can never be witnessed, so
+  // the whole twig selects nothing.
+  query::TwigQuery empty_branch = q.value();
+  const int leaf = empty_branch.AddNode(0, query::Axis::kChild,
+                                        doc.LookupTag("author"),
+                                        /*existential=*/true);
+  empty_branch.mutable_node(leaf).pred = query::ValuePredicate{1, 0};
+  ASSERT_TRUE(empty_branch.Validate().ok());
+  EXPECT_EQ(query::ExactEvaluator(doc).Selectivity(empty_branch), 0u);
+  EXPECT_EQ(est.Estimate(empty_branch), 0.0);
 }
 
 }  // namespace

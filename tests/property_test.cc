@@ -15,12 +15,23 @@
 #include "query/evaluator.h"
 #include "query/workload.h"
 #include "query/xpath_parser.h"
+#include "testing/seed.h"
 #include "util/random.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
 namespace xsketch {
 namespace {
+
+// All randomness below derives from one base seed (XSKETCH_SEED overrides
+// the default), so any failure reproduces from the single number printed
+// by the SCOPED_TRACE / the BaseSeed() banner on stderr.
+uint64_t Seed(uint64_t salt) {
+  return testing::Derive(testing::BaseSeed(), salt);
+}
+
+#define XS_SEED_TRACE() \
+  SCOPED_TRACE(testing::ReproCommand(testing::BaseSeed(), "property_test"))
 
 enum class DataKind { kXMark, kImdb, kSProt };
 
@@ -41,7 +52,8 @@ xml::Document MakeDoc(DataKind kind, uint64_t seed, double scale) {
 class RoundTripProperty : public ::testing::TestWithParam<DataKind> {};
 
 TEST_P(RoundTripProperty, WriteParseIdentity) {
-  xml::Document doc = MakeDoc(GetParam(), 77, 0.02);
+  XS_SEED_TRACE();
+  xml::Document doc = MakeDoc(GetParam(), Seed(1), 0.02);
   auto reparsed = xml::ParseDocument(xml::WriteDocument(doc));
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   const xml::Document& b = reparsed.value();
@@ -68,9 +80,10 @@ TEST_P(RoundTripProperty, WriteParseIdentity) {
 }
 
 TEST_P(RoundTripProperty, MutatedInputNeverCrashesParser) {
-  xml::Document doc = MakeDoc(GetParam(), 78, 0.005);
+  XS_SEED_TRACE();
+  xml::Document doc = MakeDoc(GetParam(), Seed(2), 0.005);
   std::string text = xml::WriteDocument(doc);
-  util::Rng rng(123);
+  util::Rng rng(Seed(3));
   for (int trial = 0; trial < 200; ++trial) {
     std::string mutated = text;
     const int edits = 1 + static_cast<int>(rng.Uniform(4));
@@ -105,7 +118,7 @@ INSTANTIATE_TEST_SUITE_P(Generators, RoundTripProperty,
 class EstimatorInvariants : public ::testing::TestWithParam<DataKind> {
  protected:
   void SetUp() override {
-    doc_ = MakeDoc(GetParam(), 91, 0.03);
+    doc_ = MakeDoc(GetParam(), Seed(4), 0.03);
     sketch_ = std::make_unique<core::TwigXSketch>(
         core::TwigXSketch::Coarsest(doc_));
     estimator_ = std::make_unique<core::Estimator>(*sketch_);
@@ -118,7 +131,8 @@ class EstimatorInvariants : public ::testing::TestWithParam<DataKind> {
 
 TEST_P(EstimatorInvariants, WideningValuePredicateNeverDecreasesEstimate) {
   query::WorkloadOptions wopts;
-  wopts.seed = 92;
+  XS_SEED_TRACE();
+  wopts.seed = Seed(5);
   wopts.num_queries = 25;
   wopts.value_pred_fraction = 1.0;
   query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
@@ -139,7 +153,8 @@ TEST_P(EstimatorInvariants, WideningValuePredicateNeverDecreasesEstimate) {
 
 TEST_P(EstimatorInvariants, RemovingValuePredicatesNeverDecreasesEstimate) {
   query::WorkloadOptions wopts;
-  wopts.seed = 93;
+  XS_SEED_TRACE();
+  wopts.seed = Seed(6);
   wopts.num_queries = 25;
   wopts.value_pred_fraction = 1.0;
   query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
@@ -155,10 +170,11 @@ TEST_P(EstimatorInvariants, RemovingValuePredicatesNeverDecreasesEstimate) {
 
 TEST_P(EstimatorInvariants, AddingExistentialBranchNeverIncreasesEstimate) {
   query::WorkloadOptions wopts;
-  wopts.seed = 94;
+  XS_SEED_TRACE();
+  wopts.seed = Seed(7);
   wopts.num_queries = 25;
   query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
-  util::Rng rng(95);
+  util::Rng rng(Seed(8));
   for (const auto& q : w.queries) {
     const double base = estimator_->Estimate(q.twig);
     query::TwigQuery extended = q.twig;
@@ -175,10 +191,11 @@ TEST_P(EstimatorInvariants, ExactEvaluatorSameMonotonicity) {
   // The same semi-join monotonicity holds for the ground truth.
   query::ExactEvaluator eval(doc_);
   query::WorkloadOptions wopts;
-  wopts.seed = 96;
+  XS_SEED_TRACE();
+  wopts.seed = Seed(9);
   wopts.num_queries = 15;
   query::Workload w = query::GeneratePositiveWorkload(doc_, wopts);
-  util::Rng rng(97);
+  util::Rng rng(Seed(10));
   for (const auto& q : w.queries) {
     query::TwigQuery extended = q.twig;
     const int t = static_cast<int>(rng.Uniform(extended.size()));
@@ -193,7 +210,8 @@ TEST_P(EstimatorInvariants, RefinementNeverBreaksSinglePathExactness) {
   // Per-edge counts make child-axis chains exact on the label-split
   // synopsis; structural refinements must preserve that.
   core::BuildOptions opts;
-  opts.seed = 98;
+  XS_SEED_TRACE();
+  opts.seed = Seed(11);
   opts.candidates_per_iteration = 4;
   opts.sample_queries = 8;
   opts.budget_bytes =
@@ -232,7 +250,8 @@ INSTANTIATE_TEST_SUITE_P(Generators, EstimatorInvariants,
 class CstInvariants : public ::testing::TestWithParam<DataKind> {};
 
 TEST_P(CstInvariants, UnprunedPathEstimatesAreExact) {
-  xml::Document doc = MakeDoc(GetParam(), 101, 0.02);
+  XS_SEED_TRACE();
+  xml::Document doc = MakeDoc(GetParam(), Seed(12), 0.02);
   cst::CstOptions opts;
   opts.budget_bytes = 1 << 24;  // no pruning
   opts.max_suffix_length = 16;  // deeper than any of the documents
@@ -240,7 +259,7 @@ TEST_P(CstInvariants, UnprunedPathEstimatesAreExact) {
   query::ExactEvaluator eval(doc);
 
   // Random child-axis root-to-descendant chains.
-  util::Rng rng(102);
+  util::Rng rng(Seed(13));
   for (int trial = 0; trial < 30; ++trial) {
     xml::NodeId e = static_cast<xml::NodeId>(rng.Uniform(doc.size()));
     std::string expr;
@@ -268,9 +287,10 @@ INSTANTIATE_TEST_SUITE_P(Generators, CstInvariants,
 class SplitInvariants : public ::testing::TestWithParam<DataKind> {};
 
 TEST_P(SplitInvariants, RandomSplitsPreservePartitionInvariants) {
-  xml::Document doc = MakeDoc(GetParam(), 111, 0.02);
+  XS_SEED_TRACE();
+  xml::Document doc = MakeDoc(GetParam(), Seed(14), 0.02);
   core::Synopsis syn = core::Synopsis::LabelSplit(doc);
-  util::Rng rng(112);
+  util::Rng rng(Seed(15));
 
   for (int round = 0; round < 12; ++round) {
     // Pick a splittable node and a random proper subset.

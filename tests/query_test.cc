@@ -519,5 +519,27 @@ TEST(WorkloadEdgeCases, TinyDocumentStillGenerates) {
   for (const auto& q : w.queries) EXPECT_GT(q.true_count, 0u);
 }
 
+TEST(TwigTest, ToStringRendersUnknownTagsWithoutCrashing) {
+  // The XPath parser maps absent labels to kUnknownTag; such queries are
+  // valid (they match nothing) and must print, not abort on an interner
+  // lookup (regression: found by fuzz_xpath).
+  auto parsed = xml::ParseDocument("<r><a/></r>");
+  ASSERT_TRUE(parsed.ok());
+  const xml::Document& doc = parsed.value();
+  auto q = ParsePath("//nosuchtag", doc.tags());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const std::string s = q.value().ToString(doc.tags());
+  EXPECT_NE(s.find("<unknown:"), std::string::npos) << s;
+  EXPECT_EQ(ExactEvaluator(doc).Selectivity(q.value()), 0u);
+}
+
+TEST(TwigTest, EmptyValueRangeIsValid) {
+  // Pinned semantics (see twig.h): lo > hi is a valid, empty predicate.
+  TwigQuery q;
+  q.AddNode(TwigQuery::kNoParent, Axis::kChild, 0);
+  q.mutable_node(0).pred = ValuePredicate{5, -5};
+  EXPECT_TRUE(q.Validate().ok());
+}
+
 }  // namespace
 }  // namespace xsketch::query

@@ -11,8 +11,11 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 # builder_test covers the parallel XBUILD candidate-scoring path;
-# obs_test drives concurrent writers through the shared MetricsRegistry.
-TARGETS=(service_test estimator_test builder_test obs_test)
+# obs_test drives concurrent writers through the shared MetricsRegistry;
+# differential_test drives the whole pipeline through 8-thread batch
+# estimation (its runner sets batch_threads = 8), with the sweep size
+# reduced below so sanitizer overhead stays in budget.
+TARGETS=(service_test estimator_test builder_test obs_test differential_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do
@@ -27,7 +30,11 @@ for MODE in ${MODES[@]}; do
   cmake --build "$BUILD" -j"$(nproc)" --target "${TARGETS[@]}"
   for t in "${TARGETS[@]}"; do
     echo "--- $t ($MODE) ---"
-    "$BUILD/tests/$t"
+    if [ "$t" = differential_test ]; then
+      XSKETCH_DIFF_DOCS=1 XSKETCH_DIFF_QUERIES=8 "$BUILD/tests/$t"
+    else
+      "$BUILD/tests/$t"
+    fi
   done
 done
 echo "all sanitizer runs passed"

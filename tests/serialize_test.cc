@@ -147,5 +147,104 @@ TEST(SerializeTest, RestoreValidatesScopes) {
   EXPECT_FALSE(restored.ok());
 }
 
+TEST(SerializeTest, RestoreRejectsOutOfRangeScopeNodeIds) {
+  // Regression (found by fuzz_sketch_load): CountRef node ids beyond the
+  // synopsis node count must be rejected, not used to index edge lists.
+  xml::Document doc = data::MakeBibliography();
+  TwigXSketch sketch = TwigXSketch::Coarsest(doc);
+  std::vector<SynNodeId> partition(doc.size());
+  for (xml::NodeId e = 0; e < doc.size(); ++e) {
+    partition[e] = sketch.synopsis().NodeOf(e);
+  }
+  auto bad_scope = sketch.ExportConfigs();
+  bad_scope[0].scope.push_back(CountRef{true, 0x7FFFFFFFu, 0});
+  EXPECT_FALSE(TwigXSketch::Restore(doc, partition, bad_scope).ok());
+
+  auto bad_value_scope = sketch.ExportConfigs();
+  bad_value_scope[0].value_scope.push_back(CountRef{true, 0, 0x7FFFFFFFu});
+  EXPECT_FALSE(TwigXSketch::Restore(doc, partition, bad_value_scope).ok());
+}
+
+TEST(SerializeTest, RestoreRejectsZeroNodeSynopsis) {
+  // A synopsis with zero nodes cannot summarize a non-empty document:
+  // Restore rejects it (and the byte format rejects node_count == 0).
+  xml::Document doc = data::MakeBibliography();
+  std::vector<SynNodeId> partition(doc.size(), 0);
+  auto restored = TwigXSketch::Restore(doc, partition, {});
+  EXPECT_FALSE(restored.ok());
+}
+
+TEST(SerializeTest, EmptyHistogramsRoundTrip) {
+  // max_initial_dims = 0 yields a pure graph synopsis: every node
+  // summary has an empty scope and no edge histogram. The format must
+  // round-trip that shape bit-identically.
+  xml::Document doc = data::GenerateImdb({.seed = 35, .scale = 0.02});
+  CoarsestOptions copts;
+  copts.max_initial_dims = 0;
+  TwigXSketch original = TwigXSketch::Coarsest(doc, copts);
+  const std::string bytes = SaveSketch(original);
+  auto restored = LoadSketch(bytes, doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(SaveSketch(restored.value()), bytes);
+
+  query::WorkloadOptions wopts;
+  wopts.seed = 36;
+  wopts.num_queries = 15;
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  Estimator before(original);
+  Estimator after(restored.value());
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(before.Estimate(q.twig), after.Estimate(q.twig));
+  }
+}
+
+TEST(SerializeTest, MaxBucketCountHistogramsRoundTrip) {
+  // Bucket budgets far above the number of distinct count points keep
+  // every point as its own bucket — the largest histograms the builder
+  // can produce. Round trip must preserve them exactly.
+  xml::Document doc = data::GenerateImdb({.seed = 37, .scale = 0.02});
+  CoarsestOptions copts;
+  copts.initial_buckets = 4096;
+  copts.initial_value_buckets = 4096;
+  copts.max_initial_dims = 2;
+  TwigXSketch original = TwigXSketch::Coarsest(doc, copts);
+  const std::string bytes = SaveSketch(original);
+  auto restored = LoadSketch(bytes, doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(SaveSketch(restored.value()), bytes);
+  EXPECT_EQ(restored.value().SizeBytes(), original.SizeBytes());
+
+  query::WorkloadOptions wopts;
+  wopts.seed = 38;
+  wopts.num_queries = 15;
+  wopts.value_pred_fraction = 0.5;
+  query::Workload w = query::GeneratePositiveWorkload(doc, wopts);
+  Estimator before(original);
+  Estimator after(restored.value());
+  for (const auto& q : w.queries) {
+    EXPECT_EQ(before.Estimate(q.twig), after.Estimate(q.twig));
+  }
+}
+
+TEST(SerializeTest, SingleByteCorruptionsNeverCrashTheLoader) {
+  // Deterministic mini-fuzz: flip each byte of a saved sketch in turn,
+  // and truncate at every prefix length. Every mutation must either load
+  // cleanly or fail with a Status — never crash (pins the bounds checks
+  // fuzz_sketch_load exercises randomly).
+  xml::Document doc = data::MakeBibliography();
+  const std::string bytes = SaveSketch(TwigXSketch::Coarsest(doc));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    auto r = LoadSketch(mutated, doc);
+    if (r.ok()) {
+      EXPECT_TRUE(LoadSketch(SaveSketch(r.value()), doc).ok()) << i;
+    }
+  }
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(LoadSketch(bytes.substr(0, len), doc).ok()) << len;
+  }
+}
+
 }  // namespace
 }  // namespace xsketch::core
