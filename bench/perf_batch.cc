@@ -10,16 +10,29 @@
 // Scale knobs (see bench_common.h): XS_BENCH_SCALE, XS_BENCH_QUERIES,
 // plus XS_BENCH_BATCH_REPEATS (default 3) timed repetitions per row.
 //
+// The "compiled" row is the prepared-query hot path (core/compile.h):
+// every query lowered once by a shared TwigCompiler, then executed from
+// its CompiledTwig program. Prepare cost is reported separately (us/query,
+// cold expansion cache); the row's q/s is execute-only, which is what a
+// plan-caching service amortizes to.
+//
 // --smoke: assert-only correctness pass on tiny inputs (no timing
 // claims) — bit-identity against the sequential baseline plus BatchStats
 // sanity invariants. Wired into ctest as part of bench_smoke so the
 // bench harness itself cannot rot unnoticed.
+//
+// --delta: timing gate for scripts/ci_check.sh — measures interpreted vs
+// compiled single-thread throughput on a small fixed workload and fails
+// if the compiled path is slower (a compiled-path performance regression).
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 
 #include "bench_common.h"
+#include "core/compile.h"
+#include "core/frozen.h"
 #include "query/xpath_parser.h"
 #include "service/estimation_service.h"
 
@@ -36,12 +49,20 @@ double SecondsSince(Clock::time_point start) {
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool delta = argc > 1 && std::strcmp(argv[1], "--delta") == 0;
+  // --delta pins its own workload size so the CI gate is stable under the
+  // XS_BENCH_* environment.
   const bench::DataSet data =
       smoke ? bench::DataSet{"XMark",
                              data::GenerateXMark({.seed = 42, .scale = 0.02})}
-            : bench::MakeXMark();
-  const int num_queries = smoke ? 40 : bench::BenchQueries();
-  const int repeats = smoke ? 1 : bench::EnvInt("XS_BENCH_BATCH_REPEATS", 3);
+      : delta
+          ? bench::DataSet{"XMark",
+                           data::GenerateXMark({.seed = 42, .scale = 0.05})}
+          : bench::MakeXMark();
+  const int num_queries = smoke ? 40 : delta ? 150 : bench::BenchQueries();
+  const int repeats =
+      (smoke || delta) ? (delta ? 3 : 1)
+                       : bench::EnvInt("XS_BENCH_BATCH_REPEATS", 3);
 
   query::WorkloadOptions wopts;
   wopts.seed = 55;
@@ -61,7 +82,7 @@ int main(int argc, char** argv) {
   }
 
   core::TwigXSketch sketch = core::TwigXSketch::Coarsest(data.doc);
-  if (!smoke) {
+  if (!smoke && !delta) {
     std::printf("# %s scale=%.2f, %zu queries, coarsest synopsis %.1f KB\n",
                 data.name.c_str(), bench::BenchScale(), queries.size(),
                 sketch.SizeBytes() / 1024.0);
@@ -84,8 +105,80 @@ int main(int argc, char** argv) {
     seq_best = std::max(seq_best, qps);
     if (r == 0) expected = std::move(run);
   }
-  if (!smoke) {
+  if (!smoke && !delta) {
     std::printf("%-12s %12.0f q/s   (baseline)\n", "sequential", seq_best);
+  }
+
+  // Compiled prepared-query path: lower every query once through a shared
+  // compiler (cold '//'-expansion cache, timed separately as prepare
+  // cost), then run the programs. Execute-only q/s is the steady state a
+  // plan-caching service amortizes to.
+  const auto frozen = std::make_shared<const core::FrozenSynopsis>(sketch);
+  const core::TwigCompiler compiler(frozen);
+  std::vector<std::shared_ptr<const core::CompiledTwig>> plans;
+  plans.reserve(queries.size());
+  const Clock::time_point pstart = Clock::now();
+  for (const query::TwigQuery& q : queries) {
+    auto plan = compiler.Compile(q);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "compile: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    plans.push_back(std::move(plan).value());
+  }
+  const double prepare_us =
+      SecondsSince(pstart) * 1e6 / static_cast<double>(queries.size());
+
+  double comp_best = 0.0;
+  size_t comp_mismatches = 0;
+  {
+    std::vector<double> out(queries.size());
+    core::ExecScratch scratch;
+    for (int r = 0; r < repeats; ++r) {
+      const Clock::time_point start = Clock::now();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        out[i] = plans[i]->Execute(scratch);
+      }
+      comp_best = std::max(
+          comp_best, static_cast<double>(queries.size()) / SecondsSince(start));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (std::memcmp(&out[i], &expected[i].estimate, sizeof(double)) != 0) {
+        ++comp_mismatches;
+      }
+    }
+  }
+  if (comp_mismatches != 0) {
+    std::fprintf(stderr, "compiled path MISMATCH: %zu of %zu estimates\n",
+                 comp_mismatches, queries.size());
+    return 1;
+  }
+  if (!smoke && !delta) {
+    std::printf("%-12s %12.0f q/s   %5.2fx   prepare %5.1f us/q   %s\n",
+                "compiled", comp_best, comp_best / seq_best, prepare_us,
+                "bit-identical");
+  }
+
+  if (delta) {
+    // CI gate: the compiled hot path must not regress below the memoized
+    // interpreter on the same single-thread workload.
+    double interp_best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      core::Estimator est(sketch);
+      const Clock::time_point start = Clock::now();
+      for (const query::TwigQuery& q : queries) (void)est.Estimate(q);
+      interp_best = std::max(interp_best, static_cast<double>(queries.size()) /
+                                              SecondsSince(start));
+    }
+    std::printf("bench_delta: interpreted %.0f q/s, compiled %.0f q/s (%.2fx)\n",
+                interp_best, comp_best, comp_best / interp_best);
+    if (comp_best < interp_best) {
+      std::fprintf(stderr,
+                   "bench_delta FAILED: compiled path slower than the "
+                   "interpreted baseline\n");
+      return 1;
+    }
+    return 0;
   }
 
   const std::vector<int> thread_counts =

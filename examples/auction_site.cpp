@@ -17,7 +17,11 @@ int main() {
   core::BuildOptions opts;
   opts.budget_bytes = 24 * 1024;
   core::TwigXSketch sketch = core::XBuild(doc, opts).Build();
-  core::Estimator estimator(sketch);
+  auto session = api::Session::Open(std::move(sketch));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
   query::ExactEvaluator evaluator(doc);
 
   // Candidate twigs for "auctions with active bidders and their sellers".
@@ -43,7 +47,13 @@ int main() {
                    twig.status().ToString().c_str());
       return 1;
     }
-    rows.push_back({q, estimator.Estimate(twig.value()),
+    auto prepared = session.value().Prepare(twig.value());
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare error in '%s': %s\n", q,
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back({q, prepared.value().Execute(),
                     evaluator.Selectivity(twig.value())});
   }
 

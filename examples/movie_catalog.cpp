@@ -51,8 +51,12 @@ int main() {
   std::printf("%-13s %12s %14s %14s\n", "genre", "exact", "coarse est",
               "joint-hist est");
 
-  core::Estimator est_coarse(coarse);
-  core::Estimator est_joint(joint);
+  auto ses_coarse = api::Session::Open(std::move(coarse));
+  auto ses_joint = api::Session::Open(std::move(joint));
+  if (!ses_coarse.ok() || !ses_joint.ok()) {
+    std::fprintf(stderr, "session open failed\n");
+    return 1;
+  }
   for (int i = 0; i < 3; ++i) {
     const std::string clause =
         "for t0 in //movie[type=" + std::to_string(genres[i]) +
@@ -66,8 +70,8 @@ int main() {
     std::printf("%-13s %12lu %14.1f %14.1f\n", genre_names[i],
                 static_cast<unsigned long>(
                     evaluator.Selectivity(twig.value())),
-                est_coarse.Estimate(twig.value()),
-                est_joint.Estimate(twig.value()));
+                ses_coarse.value().Execute(twig.value()).value().estimate,
+                ses_joint.value().Execute(twig.value()).value().estimate);
   }
 
   std::printf(

@@ -46,8 +46,15 @@ int main(int argc, char** argv) {
   std::printf("synopsis: %.1f KB (%zu nodes)\n",
               sketch.SizeBytes() / 1024.0, sketch.synopsis().node_count());
 
-  // 3. Estimate some queries and compare against exact counts.
-  core::Estimator estimator(sketch);
+  // 3. Open a session and estimate some queries against exact counts.
+  //    Prepare lowers each query to a compiled program once; Execute runs
+  //    the compiled hot path (bit-identical to the reference estimator).
+  auto session = api::Session::Open(std::move(sketch));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
   query::ExactEvaluator evaluator(doc);
   const char* queries[] = {
       "//author/paper",
@@ -56,14 +63,14 @@ int main(int argc, char** argv) {
   };
   std::printf("\n%-40s %12s %12s\n", "query", "estimate", "exact");
   for (const char* q : queries) {
-    auto twig = query::ParsePath(q, doc.tags());
-    if (!twig.ok()) {
+    auto prepared = session.value().Prepare(q);
+    if (!prepared.ok()) {
       std::fprintf(stderr, "skipping %s: %s\n", q,
-                   twig.status().ToString().c_str());
+                   prepared.status().ToString().c_str());
       continue;
     }
-    std::printf("%-40s %12.1f %12lu\n", q,
-                estimator.Estimate(twig.value()),
+    auto twig = query::ParsePath(q, doc.tags());
+    std::printf("%-40s %12.1f %12lu\n", q, prepared.value().Execute(),
                 static_cast<unsigned long>(
                     evaluator.Selectivity(twig.value())));
   }
@@ -73,8 +80,9 @@ int main(int argc, char** argv) {
       "for t0 in //author, t1 in t0/name, t2 in t0/paper/keyword",
       doc.tags());
   if (twig.ok()) {
+    auto prepared = session.value().Prepare(twig.value());
     std::printf("%-40s %12.1f %12lu\n", "for t0 in //author, t1..., t2...",
-                estimator.Estimate(twig.value()),
+                prepared.ok() ? prepared.value().Execute() : -1.0,
                 static_cast<unsigned long>(
                     evaluator.Selectivity(twig.value())));
   }

@@ -205,14 +205,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
       return 1;
     }
-    core::Estimator est(sketch.value());
+    auto session = api::Session::Open(std::move(sketch).value());
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
     for (int i = 4; i < argc; ++i) {
       auto twig = ParseQuery(argv[i], doc);
       if (!twig.ok()) {
         std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
         continue;
       }
-      auto stats = est.EstimateChecked(twig.value());
+      auto stats = session.value().Execute(twig.value());
       if (!stats.ok()) {
         std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
         continue;
@@ -239,7 +243,11 @@ int main(int argc, char** argv) {
       }
     }
     if (query_args.empty()) return Usage();
-    core::Estimator est(sketch.value());
+    auto session = api::Session::Open(std::move(sketch).value());
+    if (!session.ok()) {
+      std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+      return 1;
+    }
     int rc = 0;
     for (const char* arg : query_args) {
       auto twig = ParseQuery(arg, doc);
@@ -249,11 +257,17 @@ int main(int argc, char** argv) {
         continue;
       }
       obs::ExplainTrace trace;
-      const core::EstimateStats stats =
-          est.EstimateWithTrace(twig.value(), &trace);
-      // The trace must reproduce the estimator bit for bit: both the
+      auto explained = session.value().Explain(twig.value(), &trace);
+      if (!explained.ok()) {
+        std::fprintf(stderr, "%s\n", explained.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      const core::EstimateStats stats = explained.value();
+      // The trace must reproduce the compiled path bit for bit: both the
       // recorded root value and the re-derived sum/product tree.
-      const double plain = est.Estimate(twig.value());
+      const double plain =
+          session.value().Prepare(twig.value()).value().Execute();
       if (trace.estimate() != plain || trace.Recompute() != plain) {
         std::fprintf(stderr,
                      "trace mismatch for '%s': Estimate() %.17g, trace "
@@ -325,14 +339,13 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    auto svc = service::EstimationService::Create(std::move(sketch).value(),
-                                                  opts);
+    auto svc = api::Session::Open(std::move(sketch).value(), opts);
     if (!svc.ok()) {
       std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
       return 1;
     }
     service::BatchStats bstats;
-    auto results = svc.value()->EstimateBatch(queries, &bstats);
+    auto results = svc.value().ExecuteBatch(queries, &bstats);
     for (size_t i = 0; i < results.size(); ++i) {
       if (results[i].ok()) {
         std::printf("%-50s %14.1f\n", texts[i].c_str(),
@@ -347,7 +360,7 @@ int main(int argc, char** argv) {
         "(%.0f q/s)\n"
         "latency p50 %.1f us, p95 %.1f us; path-cache hit rate %.1f%%\n"
         "terms: covered %lld, uniformity %lld, conditioned %lld\n",
-        bstats.queries, bstats.failed, svc.value()->num_threads(),
+        bstats.queries, bstats.failed, svc.value().service().num_threads(),
         bstats.wall_ms,
         bstats.wall_ms > 0
             ? static_cast<double>(bstats.queries) / (bstats.wall_ms / 1e3)
@@ -358,7 +371,10 @@ int main(int argc, char** argv) {
         static_cast<long long>(bstats.uniformity_terms),
         static_cast<long long>(bstats.conditioned_nodes));
     std::printf(
-        "path cache: %llu lookups, %llu hits this batch\n",
+        "plan cache: %llu lookups, %llu hits; path cache: %llu lookups, "
+        "%llu hits this batch\n",
+        static_cast<unsigned long long>(bstats.plan_cache_lookups),
+        static_cast<unsigned long long>(bstats.plan_cache_hits),
         static_cast<unsigned long long>(bstats.cache_lookups),
         static_cast<unsigned long long>(bstats.cache_hits));
     if (bstats.audited > 0) {

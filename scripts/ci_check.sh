@@ -11,6 +11,10 @@
 #   differential  the randomized differential oracle sweep
 #   bench_smoke   assert-only --smoke pass over the perf benches
 #
+# After the tiers, the bench_delta gate (perf_batch --delta) checks that
+# the compiled prepared-query path has not regressed below the
+# interpreted estimator on a fixed single-thread workload.
+#
 # Fuzzers build via -DXSKETCH_FUZZERS=ON (libFuzzer under clang, the
 # standalone replay/mutation driver under gcc) and get a short
 # deterministic mutation run each — enough to catch error-path
@@ -31,6 +35,9 @@ for tier in unit differential bench_smoke; do
   echo "=== ctest tier: $tier ==="
   (cd "$BUILD" && ctest -L "$tier" --output-on-failure -j"$(nproc)")
 done
+
+echo "=== bench_delta: compiled vs interpreted ==="
+"$BUILD/bench/perf_batch" --delta
 
 echo "=== fuzz smoke (10s per target) ==="
 for f in fuzz_parser fuzz_xpath fuzz_sketch_load; do

@@ -1,0 +1,162 @@
+#include "core/frozen.h"
+
+#include <algorithm>
+
+namespace xsketch::core {
+
+FrozenSynopsis::FrozenSynopsis(const TwigXSketch& sketch) : sketch_(&sketch) {
+  const Synopsis& syn = sketch.synopsis();
+  const uint32_t n_nodes = static_cast<uint32_t>(syn.node_count());
+  root_node_ = syn.RootNode();
+  doc_max_depth_ = sketch.doc().max_depth();
+  has_backward_dims_ = sketch.HasBackwardDims();
+
+  tag_.resize(n_nodes);
+  count_.resize(n_nodes);
+  edge_begin_.assign(n_nodes + 1, 0);
+  hist_dims_.assign(n_nodes, 0);
+  bucket_begin_.assign(n_nodes + 1, 0);
+  col_begin_.assign(n_nodes, 0);
+  fwd_begin_.assign(n_nodes + 1, 0);
+  bwd_begin_.assign(n_nodes + 1, 0);
+  by_tag_.resize(sketch.doc().tag_count());
+
+  // Pass 1: sizes.
+  size_t total_edges = 0, total_buckets = 0, total_cols = 0;
+  size_t total_fwd = 0, total_bwd = 0;
+  for (SynNodeId n = 0; n < n_nodes; ++n) {
+    const SynNode& node = syn.node(n);
+    const NodeSummary& s = sketch.summary(n);
+    total_edges += node.children.size();
+    total_buckets += s.hist.bucket_count();
+    total_cols += static_cast<size_t>(s.hist.bucket_count()) *
+                  static_cast<size_t>(std::max(0, s.hist.dims()));
+    for (const CountRef& r : s.scope) {
+      (r.forward ? total_fwd : total_bwd) += 1;
+    }
+  }
+  edges_.reserve(total_edges);
+  bucket_frac_.reserve(total_buckets);
+  static_prob_.reserve(total_buckets);
+  mean_.reserve(total_cols);
+  lo_minus_.reserve(total_cols);
+  hi_plus_.reserve(total_cols);
+  inv_span_.reserve(total_cols);
+  fwd_.reserve(total_fwd);
+  bwd_.reserve(total_bwd);
+
+  // Pass 2: fill. Every double here is produced by the exact expression
+  // the reference estimator evaluates per query (see estimator.cc), so a
+  // frozen read is bit-identical to an interpreted recomputation.
+  for (SynNodeId n = 0; n < n_nodes; ++n) {
+    const SynNode& node = syn.node(n);
+    const NodeSummary& s = sketch.summary(n);
+    tag_[n] = node.tag;
+    count_[n] = static_cast<double>(node.count);
+
+    edge_begin_[n] = static_cast<uint32_t>(edges_.size());
+    for (const SynEdge& e : node.children) {
+      Edge fe;
+      fe.child = e.child;
+      fe.child_tag = syn.node(e.child).tag;
+      fe.avg = static_cast<double>(e.child_count) /
+               static_cast<double>(node.count);
+      fe.parent_zero = (e.parent_count == 0);
+      if (!fe.parent_zero) {
+        fe.exist_frac = static_cast<double>(e.parent_count) /
+                        static_cast<double>(node.count);
+        fe.avg_given_exist = static_cast<double>(e.child_count) /
+                             static_cast<double>(e.parent_count);
+      }
+      edges_.push_back(fe);
+    }
+
+    hist_dims_[n] = s.hist.dims();
+    bucket_begin_[n] = static_cast<uint32_t>(bucket_frac_.size());
+    col_begin_[n] = mean_.size();
+    const auto& buckets = s.hist.buckets();
+    const int dims = s.hist.dims();
+    for (const auto& b : buckets) bucket_frac_.push_back(b.fraction);
+    // Column-major: dimension d's bounds/means for all buckets of n are
+    // contiguous, so one conditioning pass is a unit-stride SIMD sweep.
+    for (int d = 0; d < dims; ++d) {
+      for (const auto& b : buckets) {
+        const double lo = static_cast<double>(b.lo[d]) - 0.5;
+        const double hi = static_cast<double>(b.hi[d]) + 0.5;
+        lo_minus_.push_back(lo);
+        hi_plus_.push_back(hi);
+        inv_span_.push_back(1.0 / (hi - lo));
+        mean_.push_back(b.mean[d]);
+      }
+    }
+
+    // Static points: the unconditioned enumeration Condition({}) — what
+    // every histogram read reduces to on sketches without backward
+    // dimensions. Computed by the original histogram code so the stored
+    // probabilities are bit-identical by construction.
+    if (!s.hist.empty()) {
+      const auto points = s.hist.Condition({});
+      // Condition({}) keeps every bucket (fractions are positive by
+      // construction) in bucket order.
+      XS_CHECK(points.size() == buckets.size());
+      for (const auto& p : points) static_prob_.push_back(p.prob);
+    }
+
+    fwd_begin_[n] = static_cast<uint32_t>(fwd_.size());
+    bwd_begin_[n] = static_cast<uint32_t>(bwd_.size());
+    for (size_t d = 0; d < s.scope.size(); ++d) {
+      const CountRef& r = s.scope[d];
+      if (r.forward) {
+        fwd_.push_back(ForwardDim{static_cast<int>(d), r.from, r.to});
+      } else {
+        bwd_.push_back(BackwardDim{static_cast<int>(d), r.from, r.to});
+      }
+    }
+  }
+  edge_begin_[n_nodes] = static_cast<uint32_t>(edges_.size());
+  bucket_begin_[n_nodes] = static_cast<uint32_t>(bucket_frac_.size());
+  fwd_begin_[n_nodes] = static_cast<uint32_t>(fwd_.size());
+  bwd_begin_[n_nodes] = static_cast<uint32_t>(bwd_.size());
+
+  // Tag index, preserving Synopsis::NodesWithTag order (root-alternative
+  // enumeration order is part of the arithmetic contract).
+  for (size_t t = 0; t < by_tag_.size(); ++t) {
+    by_tag_[t] = syn.NodesWithTag(static_cast<xml::TagId>(t));
+  }
+}
+
+const FrozenSynopsis::Edge* FrozenSynopsis::FindEdge(SynNodeId n,
+                                                     SynNodeId child) const {
+  for (const Edge* e = edges_begin(n); e != edges_end(n); ++e) {
+    if (e->child == child) return e;
+  }
+  return nullptr;
+}
+
+int FrozenSynopsis::FindForwardDim(SynNodeId n, SynNodeId to) const {
+  for (const ForwardDim* f = fwd_begin(n); f != fwd_end(n); ++f) {
+    if (f->from == n && f->to == to) return f->dim;
+  }
+  return -1;
+}
+
+const std::vector<SynNodeId>& FrozenSynopsis::NodesWithTag(
+    xml::TagId tag) const {
+  if (static_cast<size_t>(tag) >= by_tag_.size()) return no_nodes_;
+  return by_tag_[tag];
+}
+
+size_t FrozenSynopsis::SizeBytes() const {
+  return tag_.size() * sizeof(xml::TagId) + count_.size() * sizeof(double) +
+         edge_begin_.size() * sizeof(uint32_t) + edges_.size() * sizeof(Edge) +
+         hist_dims_.size() * sizeof(int) +
+         bucket_begin_.size() * sizeof(uint32_t) +
+         col_begin_.size() * sizeof(size_t) +
+         (bucket_frac_.size() + static_prob_.size() + mean_.size() +
+          lo_minus_.size() + hi_plus_.size() + inv_span_.size()) *
+             sizeof(double) +
+         (fwd_begin_.size() + bwd_begin_.size()) * sizeof(uint32_t) +
+         fwd_.size() * sizeof(ForwardDim) + bwd_.size() * sizeof(BackwardDim);
+}
+
+}  // namespace xsketch::core

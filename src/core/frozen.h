@@ -1,0 +1,188 @@
+// FrozenSynopsis: a CSR-encoded, structure-of-arrays snapshot of a
+// TwigXSketch, built once and shared by every compiled twig program.
+//
+// The reference estimator walks pointer-y structures per query: synopsis
+// nodes own vectors of edges, histograms own vectors of buckets that own
+// vectors of bounds/means, and every ConditionedPoints call allocates a
+// fresh vector<WeightedPoint>. The frozen view flattens all of it into
+// contiguous arrays indexed by synopsis-node id:
+//
+//   * nodes/edges      CSR adjacency with the per-edge Forward-Uniformity
+//                      quantities (avg fanout, existence fraction, fanout
+//                      given existence) pre-divided, exactly as the
+//                      estimator would divide them at query time.
+//   * histograms       bucket fractions plus column-major per-dimension
+//                      bounds/means/reciprocal-spans, so one conditioning
+//                      pass over a dimension is a unit-stride sweep the
+//                      SIMD kernels in util/simd.h can vectorize.
+//   * static points    the result of Condition({}) per node, precomputed:
+//                      on sketches without backward dimensions every
+//                      histogram enumeration in TREEPARSE conditions on
+//                      nothing, so the whole WeightedPoint set is a slice
+//                      of frozen memory instead of a per-call allocation.
+//   * scopes           forward dimensions (context pushes) and backward
+//                      dimensions (D-term conditioning) as flat CSR lists.
+//
+// Bit-identity: every precomputed double is produced by the same IEEE-754
+// operation the estimator performs at query time (the same division, the
+// same -0.5/+0.5 box widening, the same 1.0/span reciprocal), so reading
+// the frozen value is indistinguishable from recomputing it.
+//
+// The source sketch must outlive the frozen view: cold paths with no
+// flattened representation (joint value-histogram conditioning) delegate
+// to the original hist:: objects through the retained pointer, which also
+// keeps those rare paths bit-identical by construction.
+
+#ifndef XSKETCH_CORE_FROZEN_H_
+#define XSKETCH_CORE_FROZEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/twig_xsketch.h"
+#include "util/check.h"
+
+namespace xsketch::core {
+
+class FrozenSynopsis {
+ public:
+  // Snapshots `sketch`. The sketch must outlive the frozen view and stay
+  // unmodified while compiled programs built over this view execute.
+  explicit FrozenSynopsis(const TwigXSketch& sketch);
+
+  FrozenSynopsis(const FrozenSynopsis&) = delete;
+  FrozenSynopsis& operator=(const FrozenSynopsis&) = delete;
+
+  const TwigXSketch& sketch() const { return *sketch_; }
+
+  // --- structure ---------------------------------------------------------
+  uint32_t node_count() const { return static_cast<uint32_t>(tag_.size()); }
+  xml::TagId tag(SynNodeId n) const { return tag_[n]; }
+  double count(SynNodeId n) const { return count_[n]; }
+  SynNodeId root_node() const { return root_node_; }
+  uint32_t doc_max_depth() const { return doc_max_depth_; }
+  bool has_backward_dims() const { return has_backward_dims_; }
+
+  struct Edge {
+    SynNodeId child = kInvalidSynNode;
+    xml::TagId child_tag = 0;
+    // Forward Uniformity: |u→v| / |u|, pre-divided.
+    double avg = 0.0;
+    // Existential split on uncovered edges: parent_count / |u| and
+    // child_count / parent_count (0 when parent_count == 0; the
+    // parent_zero flag keeps the estimator's explicit zero branch).
+    double exist_frac = 0.0;
+    double avg_given_exist = 0.0;
+    bool parent_zero = false;
+  };
+  // Outgoing edges of n, in the synopsis's edge order.
+  const Edge* edges_begin(SynNodeId n) const {
+    return edges_.data() + edge_begin_[n];
+  }
+  const Edge* edges_end(SynNodeId n) const {
+    return edges_.data() + edge_begin_[n + 1];
+  }
+  // The edge n→child, or nullptr (linear scan, compile-time only).
+  const Edge* FindEdge(SynNodeId n, SynNodeId child) const;
+
+  // Synopsis nodes carrying `tag`, in Synopsis::NodesWithTag order.
+  const std::vector<SynNodeId>& NodesWithTag(xml::TagId tag) const;
+
+  // --- histograms --------------------------------------------------------
+  int hist_dims(SynNodeId n) const { return hist_dims_[n]; }
+  bool hist_empty(SynNodeId n) const {
+    return bucket_begin_[n] == bucket_begin_[n + 1];
+  }
+  uint32_t bucket_count(SynNodeId n) const {
+    return bucket_begin_[n + 1] - bucket_begin_[n];
+  }
+  // Bucket fractions of n (parallel to the bucket range).
+  const double* fractions(SynNodeId n) const {
+    return bucket_frac_.data() + bucket_begin_[n];
+  }
+  // Condition({}) probabilities of n, precomputed at freeze time.
+  const double* static_probs(SynNodeId n) const {
+    return static_prob_.data() + bucket_begin_[n];
+  }
+  // Column-major per-dimension bucket data: element b of the returned
+  // pointer is bucket b's value for dimension `d` of node n.
+  const double* means(SynNodeId n, int d) const { return column(mean_, n, d); }
+  const double* lo_minus(SynNodeId n, int d) const {
+    return column(lo_minus_, n, d);
+  }
+  const double* hi_plus(SynNodeId n, int d) const {
+    return column(hi_plus_, n, d);
+  }
+  const double* inv_span(SynNodeId n, int d) const {
+    return column(inv_span_, n, d);
+  }
+
+  // --- scopes ------------------------------------------------------------
+  struct ForwardDim {
+    int dim = 0;        // index into the node's histogram dimensions
+    SynNodeId from = kInvalidSynNode;
+    SynNodeId to = kInvalidSynNode;
+  };
+  struct BackwardDim {
+    int dim = 0;
+    SynNodeId from = kInvalidSynNode;
+    SynNodeId to = kInvalidSynNode;
+  };
+  // Forward scope dimensions of n (the context pushes), in scope order.
+  const ForwardDim* fwd_begin(SynNodeId n) const {
+    return fwd_.data() + fwd_begin_[n];
+  }
+  const ForwardDim* fwd_end(SynNodeId n) const {
+    return fwd_.data() + fwd_begin_[n + 1];
+  }
+  // Backward scope dimensions of n (the D-term conditioning), scope order.
+  const BackwardDim* bwd_begin(SynNodeId n) const {
+    return bwd_.data() + bwd_begin_[n];
+  }
+  const BackwardDim* bwd_end(SynNodeId n) const {
+    return bwd_.data() + bwd_begin_[n + 1];
+  }
+  bool has_bwd(SynNodeId n) const {
+    return bwd_begin_[n] != bwd_begin_[n + 1];
+  }
+  // The forward dimension index for edge n→to, or -1 (compile-time only).
+  int FindForwardDim(SynNodeId n, SynNodeId to) const;
+
+  // Total frozen footprint in bytes (diagnostics).
+  size_t SizeBytes() const;
+
+ private:
+  const double* column(const std::vector<double>& arr, SynNodeId n,
+                       int d) const {
+    return arr.data() + col_begin_[n] +
+           static_cast<size_t>(d) * bucket_count(n);
+  }
+
+  const TwigXSketch* sketch_;
+  SynNodeId root_node_ = kInvalidSynNode;
+  uint32_t doc_max_depth_ = 0;
+  bool has_backward_dims_ = false;
+
+  std::vector<xml::TagId> tag_;
+  std::vector<double> count_;
+  std::vector<uint32_t> edge_begin_;  // node_count + 1
+  std::vector<Edge> edges_;
+
+  std::vector<int> hist_dims_;
+  std::vector<uint32_t> bucket_begin_;  // node_count + 1, bucket index CSR
+  std::vector<size_t> col_begin_;       // node_count, into column arrays
+  std::vector<double> bucket_frac_;
+  std::vector<double> static_prob_;
+  std::vector<double> mean_, lo_minus_, hi_plus_, inv_span_;
+
+  std::vector<uint32_t> fwd_begin_, bwd_begin_;  // node_count + 1
+  std::vector<ForwardDim> fwd_;
+  std::vector<BackwardDim> bwd_;
+
+  std::vector<std::vector<SynNodeId>> by_tag_;
+  std::vector<SynNodeId> no_nodes_;  // empty; returned for absent tags
+};
+
+}  // namespace xsketch::core
+
+#endif  // XSKETCH_CORE_FROZEN_H_

@@ -31,6 +31,34 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Canonical byte encoding of a twig for plan-cache keying: arena order,
+// one fixed-width record per node. Node order, parent links, and child
+// creation order fully determine the evaluation (and therefore the
+// compiled program), so equal keys imply interchangeable plans.
+std::string EncodeTwigKey(const query::TwigQuery& twig) {
+  std::string key;
+  key.reserve(static_cast<size_t>(twig.size()) * 27);
+  auto put = [&key](const void* p, size_t n) {
+    key.append(static_cast<const char*>(p), n);
+  };
+  for (int t = 0; t < twig.size(); ++t) {
+    const auto& node = twig.node(t);
+    put(&node.tag, sizeof(node.tag));
+    const uint8_t axis = static_cast<uint8_t>(node.axis);
+    const uint8_t flags = (node.existential ? 1 : 0) |
+                          (node.pred.has_value() ? 2 : 0);
+    put(&axis, 1);
+    put(&flags, 1);
+    if (node.pred.has_value()) {
+      put(&node.pred->lo, sizeof(node.pred->lo));
+      put(&node.pred->hi, sizeof(node.pred->hi));
+    }
+    const int32_t parent = static_cast<int32_t>(node.parent);
+    put(&parent, sizeof(parent));
+  }
+  return key;
+}
+
 }  // namespace
 
 util::Status ServiceOptions::Validate() const {
@@ -54,6 +82,11 @@ util::Status ServiceOptions::Validate() const {
         "audit_sanity_bound must be > 0 (got " +
         std::to_string(audit_sanity_bound) + ")");
   }
+  if (plan_cache_capacity < 0) {
+    return util::Status::InvalidArgument(
+        "plan_cache_capacity must be >= 0 (got " +
+        std::to_string(plan_cache_capacity) + "; 0 disables caching)");
+  }
   return estimator.Validate();
 }
 
@@ -73,6 +106,9 @@ EstimationService::EstimationService(core::TwigXSketch sketch,
     : sketch_(std::move(sketch)),
       options_(options),
       estimator_(sketch_, options.estimator),
+      frozen_(std::make_shared<const core::FrozenSynopsis>(sketch_)),
+      compiler_(std::make_unique<const core::TwigCompiler>(frozen_,
+                                                           options.estimator)),
       pool_(num_threads) {
   if (options_.audit_fraction > 0.0) {
     exact_ = std::make_unique<query::ExactEvaluator>(sketch_.doc());
@@ -96,6 +132,69 @@ EstimationService::EstimationService(core::TwigXSketch sketch,
       "xsketch_service_audit_rel_error", obs::RelativeErrorBuckets(),
       "audit relative error |r - c| / max(s, c), the paper's Section 6.1 "
       "metric");
+  metrics_.plan_lookups =
+      &reg.GetCounter("xsketch_service_plan_cache_lookups_total",
+                      "compiled-plan cache lookups");
+  metrics_.plan_hits = &reg.GetCounter("xsketch_service_plan_cache_hits_total",
+                                       "compiled-plan cache hits");
+  metrics_.plan_evictions =
+      &reg.GetCounter("xsketch_service_plan_cache_evictions_total",
+                      "compiled plans evicted from the LRU cache");
+}
+
+util::Result<std::shared_ptr<const core::CompiledTwig>>
+EstimationService::Prepare(const query::TwigQuery& twig) const {
+  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  const std::string key = EncodeTwigKey(twig);
+  metrics_.plan_lookups->Increment();
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    ++plan_lookups_;
+    auto it = plan_index_.find(key);
+    if (it != plan_index_.end()) {
+      ++plan_hits_;
+      metrics_.plan_hits->Increment();
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+      return it->second->plan;
+    }
+  }
+  // Miss: compile outside the lock (the compiler is const and thread-safe;
+  // a racing thread compiling the same shape produces an identical
+  // program, and first-insert wins below).
+  auto compiled = compiler_->Compile(twig);
+  if (!compiled.ok()) return compiled.status();
+  std::shared_ptr<const core::CompiledTwig> plan = compiled.value();
+  if (options_.plan_cache_capacity == 0) return plan;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plan_index_.find(key);
+  if (it != plan_index_.end()) {
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return it->second->plan;
+  }
+  plan_lru_.push_front(PlanEntry{key, plan});
+  plan_index_.emplace(key, plan_lru_.begin());
+  while (plan_lru_.size() >
+         static_cast<size_t>(options_.plan_cache_capacity)) {
+    plan_index_.erase(plan_lru_.back().key);
+    plan_lru_.pop_back();
+    ++plan_evictions_;
+    metrics_.plan_evictions->Increment();
+  }
+  return plan;
+}
+
+EstimationService::PlanCacheCounters EstimationService::plan_cache_counters()
+    const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return PlanCacheCounters{plan_lookups_, plan_hits_, plan_evictions_,
+                           plan_lru_.size()};
+}
+
+util::Result<core::EstimateStats> EstimationService::EstimateCompiled(
+    const query::TwigQuery& twig) const {
+  auto plan = Prepare(twig);
+  if (!plan.ok()) return plan.status();
+  return plan.value()->ExecuteWithStats();
 }
 
 bool EstimationService::AuditSelected(size_t index) const {
@@ -119,6 +218,7 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
                                  BatchStats* stats) {
   const Clock::time_point batch_start = Clock::now();
   const auto cache_before = estimator_.path_cache_counters();
+  const auto plans_before = plan_cache_counters();
 
   const size_t n = queries.size();
   // Result<T> has no default constructor; stage into optionals and move
@@ -145,7 +245,11 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
                   &audit_errors, &done_mu, &all_done, &pending] {
       for (size_t i = begin; i < end; ++i) {
         const Clock::time_point q_start = Clock::now();
-        staged[i].emplace(estimator_.EstimateChecked(queries[i]));
+        if (options_.use_compiled) {
+          staged[i].emplace(EstimateCompiled(queries[i]));
+        } else {
+          staged[i].emplace(estimator_.EstimateChecked(queries[i]));
+        }
         latencies_us[i] = MicrosBetween(q_start, Clock::now());
         metrics_.latency_us->Observe(latencies_us[i]);
         if (staged[i]->ok() && AuditSelected(i)) {
@@ -207,6 +311,9 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
             ? 0.0
             : static_cast<double>(agg.cache_hits) /
                   static_cast<double>(agg.cache_lookups);
+    const auto plans_after = plan_cache_counters();
+    agg.plan_cache_lookups = plans_after.lookups - plans_before.lookups;
+    agg.plan_cache_hits = plans_after.hits - plans_before.hits;
     double err_sum = 0.0;
     for (double e : audit_errors) {
       if (e < 0.0) continue;

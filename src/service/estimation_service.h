@@ -8,9 +8,19 @@
 // sharded descendant-path cache — so results are bit-identical to running
 // Estimator::EstimateWithStats sequentially in batch order.
 //
-// Every query goes through Estimator::EstimateChecked: malformed twigs
-// come back as per-query Status::InvalidArgument entries, never aborts,
-// and never poison the rest of the batch.
+// Every query is validated first: malformed twigs come back as per-query
+// Status::InvalidArgument entries, never aborts, and never poison the rest
+// of the batch.
+//
+// Prepared execution (the default): the service freezes its sketch into a
+// FrozenSynopsis at construction and lowers queries to CompiledTwig
+// programs through a shared TwigCompiler (core/compile.h). Prepare()
+// returns a shareable program; ExecutePrepared() runs it. EstimateBatch
+// routes through the same compiler via an internal LRU plan cache keyed by
+// the twig's canonical byte encoding, so repeated query shapes skip
+// lowering entirely. Compiled execution is bit-identical to the
+// interpreter — estimates AND EstimateStats counters — so flipping
+// ServiceOptions::use_compiled changes latency, never results.
 //
 // Audit mode (opt-in via ServiceOptions::audit_fraction): a deterministic
 // sample of each batch is additionally evaluated exactly with
@@ -23,11 +33,17 @@
 #define XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/compile.h"
 #include "core/estimator.h"
+#include "core/frozen.h"
 #include "core/twig_xsketch.h"
 #include "obs/metrics.h"
 #include "query/evaluator.h"
@@ -45,8 +61,16 @@ struct ServiceOptions {
   // worker ~4 chunks (bounds scheduling overhead while still smoothing
   // skewed per-query latencies); otherwise must be >= 1.
   int chunk_size = 0;
-  // Forwarded to the shared Estimator.
+  // Forwarded to the shared Estimator and TwigCompiler.
   core::EstimatorOptions estimator;
+
+  // Route EstimateBatch through compiled twig programs (bit-identical to
+  // the interpreter; roughly an order of magnitude faster on repeated
+  // query shapes). Prepare/ExecutePrepared work either way.
+  bool use_compiled = true;
+  // Compiled programs kept in the LRU plan cache; 0 disables caching
+  // (every batch query recompiles); otherwise must be >= 1.
+  int plan_cache_capacity = 256;
 
   // Accuracy audit: fraction of each batch's queries (in [0, 1]) whose
   // true selectivity is computed exactly and compared against the
@@ -80,6 +104,10 @@ struct BatchStats {
   // cache_hits / cache_lookups (0 when the batch never expanded a '//'
   // step).
   double cache_hit_rate = 0.0;
+  // Plan-cache activity attributable to this batch (deltas, like the
+  // path-cache counters above; zero when use_compiled is off).
+  uint64_t plan_cache_lookups = 0;
+  uint64_t plan_cache_hits = 0;
   // Accuracy audit (populated only when ServiceOptions::audit_fraction
   // > 0): sampled queries evaluated exactly, and the paper's relative
   // error |r - c| / max(s, c) over that sample.
@@ -119,8 +147,34 @@ class EstimationService {
   util::Result<core::EstimateStats> Estimate(
       const query::TwigQuery& twig) const;
 
+  // Lowers `twig` to a compiled program through the LRU plan cache:
+  // repeated shapes return the cached program, new shapes compile and may
+  // evict the least-recently-used entry. Malformed twigs return
+  // InvalidArgument. The returned program is immutable, shareable across
+  // threads, and valid while this service is alive (it references the
+  // service's frozen synopsis). Thread-safe.
+  util::Result<std::shared_ptr<const core::CompiledTwig>> Prepare(
+      const query::TwigQuery& twig) const;
+
+  // Runs a prepared program with diagnostics — the prepared-path
+  // equivalent of Estimate(), bit-identical to it (estimate and all
+  // counters). For the plain fast path call plan.Execute() directly.
+  core::EstimateStats ExecutePrepared(const core::CompiledTwig& plan) const {
+    return plan.ExecuteWithStats();
+  }
+
+  struct PlanCacheCounters {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;  // programs currently cached
+  };
+  // Lifetime plan-cache activity for this service.
+  PlanCacheCounters plan_cache_counters() const;
+
   const core::TwigXSketch& sketch() const { return sketch_; }
   const core::Estimator& estimator() const { return estimator_; }
+  const core::TwigCompiler& compiler() const { return *compiler_; }
   int num_threads() const { return pool_.num_threads(); }
 
  private:
@@ -131,6 +185,10 @@ class EstimationService {
   // (deterministic in (audit_seed, index)).
   bool AuditSelected(size_t index) const;
 
+  // One batch query on the prepared path: Prepare + ExecutePrepared.
+  util::Result<core::EstimateStats> EstimateCompiled(
+      const query::TwigQuery& twig) const;
+
   // Process-wide registry handles (see obs/metrics.h). Shared across all
   // services in the process; BatchStats carries the per-batch values.
   struct Metrics {
@@ -140,11 +198,35 @@ class EstimationService {
     obs::Histogram* latency_us;
     obs::Counter* audit_samples;
     obs::Histogram* audit_rel_error;
+    obs::Counter* plan_lookups;
+    obs::Counter* plan_hits;
+    obs::Counter* plan_evictions;
   };
+
+  // LRU plan cache: most-recently-used at the front of the list; the map
+  // indexes entries by the twig's canonical byte encoding. Guarded by
+  // plan_mu_ (compilation itself happens outside the lock — a racing
+  // thread may compile the same shape twice; both programs are identical
+  // and first-insert wins).
+  struct PlanEntry {
+    std::string key;
+    std::shared_ptr<const core::CompiledTwig> plan;
+  };
+  using PlanList = std::list<PlanEntry>;
 
   core::TwigXSketch sketch_;   // owned; never mutated after construction
   ServiceOptions options_;
   core::Estimator estimator_;  // shared by all workers
+  // Frozen view + compiler for the prepared path (reference sketch_, so
+  // they are declared after it and destroyed before it).
+  std::shared_ptr<const core::FrozenSynopsis> frozen_;
+  std::unique_ptr<const core::TwigCompiler> compiler_;
+  mutable std::mutex plan_mu_;
+  mutable PlanList plan_lru_;
+  mutable std::unordered_map<std::string, PlanList::iterator> plan_index_;
+  mutable uint64_t plan_lookups_ = 0;   // guarded by plan_mu_
+  mutable uint64_t plan_hits_ = 0;
+  mutable uint64_t plan_evictions_ = 0;
   // Ground-truth evaluator for audit mode; null when auditing is off.
   // ExactEvaluator::Selectivity is const with call-local memoization, so
   // one instance serves all workers concurrently.

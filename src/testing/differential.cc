@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/builder.h"
+#include "core/compile.h"
 #include "core/estimator.h"
 #include "core/serialize.h"
 #include "obs/explain.h"
@@ -122,6 +123,12 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
   const core::EstimatorOptions eopts = EstimatorOptionsFor(options, shape);
   const core::Estimator estimator(sketch, eopts);
 
+  // Compiled execution path: every query is also lowered to a CompiledTwig
+  // and executed both plain and with stats; estimates AND diagnostic
+  // counters must be bit-identical to the interpreter.
+  const auto frozen = std::make_shared<const core::FrozenSynopsis>(sketch);
+  const core::TwigCompiler compiler(frozen, eopts);
+
   // Serialize -> deserialize once per sketch; per-query re-estimates must
   // be bit-identical to the original.
   const std::string bytes = core::SaveSketch(sketch);
@@ -186,6 +193,45 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
                 tags,
                 "EstimateWithTrace " + FormatDouble(traced.estimate) +
                     " != Estimate " + FormatDouble(estimate));
+
+    const auto compiled = compiler.Compile(q);
+    if (check.Check(compiled.ok(),
+                    std::string(sketch_name) + "/compiled-accepts", qi, q,
+                    tags,
+                    "TwigCompiler rejected a valid query: " +
+                        compiled.status().ToString())) {
+      const double cplain = compiled.value()->Execute();
+      check.Check(cplain == estimate,
+                  std::string(sketch_name) + "/bit-identity-compiled", qi, q,
+                  tags,
+                  "compiled Execute " + FormatDouble(cplain) +
+                      " != Estimate " + FormatDouble(estimate));
+      const core::EstimateStats cstats = compiled.value()->ExecuteWithStats();
+      check.Check(
+          cstats.estimate == estimate &&
+              cstats.covered_terms == stats.covered_terms &&
+              cstats.uniformity_terms == stats.uniformity_terms &&
+              cstats.conditioned_nodes == stats.conditioned_nodes &&
+              cstats.value_fractions == stats.value_fractions &&
+              cstats.existential_terms == stats.existential_terms &&
+              cstats.descendant_chains == stats.descendant_chains,
+          std::string(sketch_name) + "/bit-identity-compiled-stats", qi, q,
+          tags,
+          "compiled ExecuteWithStats (" + FormatDouble(cstats.estimate) +
+              ", E=" + std::to_string(cstats.covered_terms) +
+              ", U=" + std::to_string(cstats.uniformity_terms) +
+              ", D=" + std::to_string(cstats.conditioned_nodes) +
+              ", vf=" + std::to_string(cstats.value_fractions) +
+              ", fe=" + std::to_string(cstats.existential_terms) +
+              ", dc=" + std::to_string(cstats.descendant_chains) +
+              ") != interpreted (" + FormatDouble(estimate) +
+              ", E=" + std::to_string(stats.covered_terms) +
+              ", U=" + std::to_string(stats.uniformity_terms) +
+              ", D=" + std::to_string(stats.conditioned_nodes) +
+              ", vf=" + std::to_string(stats.value_fractions) +
+              ", fe=" + std::to_string(stats.existential_terms) +
+              ", dc=" + std::to_string(stats.descendant_chains) + ")");
+    }
 
     if (check.Check(batch[i].ok(),
                     std::string(sketch_name) + "/batch-accepts", qi, q, tags,

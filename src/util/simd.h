@@ -1,0 +1,172 @@
+// Portable SIMD kernels for the compiled-execution hot path.
+//
+// Implemented with GCC/Clang vector extensions (which lower to SSE2/AVX on
+// x86-64 and NEON on aarch64) behind a scalar fallback, so the library
+// builds unchanged on any compiler. Every kernel is ELEMENTWISE: each
+// output lane is produced by exactly the same IEEE-754 operations, in the
+// same order, as the scalar loop it replaces — so results are bit-identical
+// to the scalar fallback and to the reference estimator. Reductions
+// (weight totals, bucket-term sums) deliberately stay scalar and in
+// original order: reassociating a float sum changes its bits, and the
+// compiled path's contract is bit-identity with core::Estimator.
+//
+// (The top-level CMakeLists sets -ffp-contract=off so neither the scalar
+// nor the vector form of a*b+c can be silently fused into an FMA on
+// targets where the compiler would otherwise contract.)
+
+#ifndef XSKETCH_UTIL_SIMD_H_
+#define XSKETCH_UTIL_SIMD_H_
+
+#include <cstddef>
+
+#if defined(__GNUC__) && (defined(__SSE2__) || defined(__AVX__) || \
+                          defined(__ARM_NEON) || defined(__aarch64__))
+#define XSKETCH_SIMD_VECTOR_EXT 1
+#endif
+
+namespace xsketch::util::simd {
+
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+inline constexpr bool kVectorized = true;
+// 4 doubles; on plain SSE2 the compiler splits this into two 128-bit ops,
+// which keeps lanes independent and therefore bit-identical.
+typedef double F64x4 __attribute__((vector_size(32), aligned(8)));
+typedef long long I64x4 __attribute__((vector_size(32), aligned(8)));
+
+namespace internal {
+inline F64x4 Load(const double* p) {
+  F64x4 v = {p[0], p[1], p[2], p[3]};
+  return v;
+}
+inline void Store(double* p, F64x4 v) {
+  p[0] = v[0]; p[1] = v[1]; p[2] = v[2]; p[3] = v[3];
+}
+}  // namespace internal
+#else
+inline constexpr bool kVectorized = false;
+#endif
+
+// One conditioning pass of EdgeHistogram::Condition, vectorized across
+// buckets: for each bucket i
+//   if (value < lo[i] || value > hi[i])  w[i] = 0;
+//   else                                 w[i] *= inv[i];
+// A lane already at 0 stays 0 (0 * inv == +0 for the finite positive inv
+// spans histograms produce), exactly like the scalar early-break.
+inline void ConditionRangePass(double* w, const double* lo, const double* hi,
+                               const double* inv, double value, size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 v = {value, value, value, value};
+  const F64x4 zero = {0.0, 0.0, 0.0, 0.0};
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 wl = internal::Load(w + i);
+    const F64x4 lov = internal::Load(lo + i);
+    const F64x4 hiv = internal::Load(hi + i);
+    const F64x4 iv = internal::Load(inv + i);
+    const I64x4 in_range = (v >= lov) & (v <= hiv);
+    const F64x4 scaled = wl * iv;
+    // Vector extensions' ?: selects lanewise on the comparison mask.
+    internal::Store(w + i, in_range ? scaled : zero);
+  }
+#endif
+  for (; i < n; ++i) {
+    if (value < lo[i] || value > hi[i]) {
+      w[i] = 0.0;
+    } else {
+      w[i] *= inv[i];
+    }
+  }
+}
+
+// acc[i] += (mean[i] - value)^2 — the inverse-distance fallback's distance
+// accumulation, one pass per conditioned dimension.
+inline void Dist2Accumulate(double* acc, const double* mean, double value,
+                            size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 v = {value, value, value, value};
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 d = internal::Load(mean + i) - v;
+    internal::Store(acc + i, internal::Load(acc + i) + d * d);
+  }
+#endif
+  for (; i < n; ++i) {
+    const double d = mean[i] - value;
+    acc[i] += d * d;
+  }
+}
+
+// w[i] = frac[i] / (1.0 + dist2[i]) — the inverse-distance weights.
+inline void InverseDistanceWeights(double* w, const double* frac,
+                                   const double* dist2, size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 one = {1.0, 1.0, 1.0, 1.0};
+  for (; i + 4 <= n; i += 4) {
+    internal::Store(w + i,
+                    internal::Load(frac + i) / (one + internal::Load(dist2 + i)));
+  }
+#endif
+  for (; i < n; ++i) {
+    w[i] = frac[i] / (1.0 + dist2[i]);
+  }
+}
+
+// dst[i] = w[i] / total — normalizes conditioning weights into bucket
+// probabilities (kept as a division per element: w / total is not the
+// same bits as w * (1 / total)).
+inline void DivScalarInto(double* dst, const double* w, double total,
+                          size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 t = {total, total, total, total};
+  for (; i + 4 <= n; i += 4) {
+    internal::Store(dst + i, internal::Load(w + i) / t);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = w[i] / total;
+}
+
+// acc[i] += a[i] * s — one covered (E-term) chain's contribution across
+// all histogram buckets at once: a is the bucket fanout column for the
+// chain's covered dimension, s the chain's static tail value.
+inline void MulScalarAccumulate(double* acc, const double* a, double s,
+                                size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 sv = {s, s, s, s};
+  for (; i + 4 <= n; i += 4) {
+    internal::Store(acc + i,
+                    internal::Load(acc + i) + internal::Load(a + i) * sv);
+  }
+#endif
+  for (; i < n; ++i) acc[i] += a[i] * s;
+}
+
+// acc[i] += s — an uncovered (U-term) chain's constant contribution.
+inline void AddScalarAccumulate(double* acc, double s, size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  const F64x4 sv = {s, s, s, s};
+  for (; i + 4 <= n; i += 4) {
+    internal::Store(acc + i, internal::Load(acc + i) + sv);
+  }
+#endif
+  for (; i < n; ++i) acc[i] += s;
+}
+
+// acc[i] *= b[i] — folds one child's per-bucket terms into the bucket
+// products.
+inline void MulAccumulate(double* acc, const double* b, size_t n) {
+  size_t i = 0;
+#ifdef XSKETCH_SIMD_VECTOR_EXT
+  for (; i + 4 <= n; i += 4) {
+    internal::Store(acc + i, internal::Load(acc + i) * internal::Load(b + i));
+  }
+#endif
+  for (; i < n; ++i) acc[i] *= b[i];
+}
+
+}  // namespace xsketch::util::simd
+
+#endif  // XSKETCH_UTIL_SIMD_H_

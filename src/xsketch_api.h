@@ -2,31 +2,59 @@
 //
 //   #include "xsketch_api.h"
 //
-// exports everything an application needs —
+// ## Stability tiers
+//
+// Tier 1 — `xsketch::api` (stable, versioned). The session-style entry
+// points declared in this header: Session, PreparedQuery, and the
+// Prepare / Execute / ExecuteBatch / Explain verbs. `api` is an alias of
+// the inline namespace `api::v1`; a future incompatible revision ships as
+// `api::v2` alongside it, so code written against `xsketch::api` keeps
+// compiling across minor releases and opts into breaks explicitly.
+//
+// Tier 2 — component namespaces (stable surface, direct use supported).
+// Everything re-exported by the includes below:
 //   xml::       ParseDocument / WriteDocument / Document
 //   data::      built-in generators (bibliography, XMark, IMDB, SwissProt)
 //   query::     TwigQuery, ParsePath / ParseForClause, ExactEvaluator,
 //               workload generation
-//   core::      BuildOptions + XBuild (parallel candidate scoring,
-//               BuildStats observability), TwigXSketch (+ Coarsest),
-//               Estimator (Estimate / EstimateWithStats / EstimateChecked),
+//   core::      BuildOptions + XBuild, TwigXSketch (+ Coarsest),
+//               Estimator (the reference interpreter), FrozenSynopsis +
+//               TwigCompiler + CompiledTwig (the compiled hot path),
 //               Save/LoadSketch (little-endian XSK2 format)
-//   service::   EstimationService — the concurrent batch estimation engine
-//               (opt-in exact-evaluation audit mode)
-//   obs::       MetricsRegistry (process-wide counters/gauges/histograms,
-//               JSON + Prometheus text exposition), ExplainTrace
-//               (per-query estimation traces)
+//   service::   EstimationService — the concurrent batch engine the
+//               Tier-1 Session wraps
+//   obs::       MetricsRegistry, ExplainTrace
 //   util::      Status / Result, ThreadPool
+// These are the extension points; api:: is sugar over them, and handles
+// from the two tiers interoperate (Session exposes its service/estimator).
 //
-// Everything under src/ not reachable from this header (hist/, cst/,
-// synopsis internals) is implementation detail with no stability promise;
-// examples/ compile against this facade only.
+// Tier 3 — everything under src/ NOT reachable from this header (hist/,
+// cst/, synopsis internals, util/simd.h): implementation detail, no
+// stability promise. examples/ compile against this facade only.
+//
+// ## Quick start
+//
+//   auto session = xsketch::api::Session::Open(std::move(sketch));
+//   auto q = session->Prepare("//open_auction[bidder]/seller");
+//   double selectivity = q->Execute();           // compiled hot path
+//
+// Prepare lowers the query once (cached across calls); Execute runs the
+// compiled program — bit-identical to the reference interpreter, roughly
+// an order of magnitude faster on repeated shapes.
 
 #ifndef XSKETCH_XSKETCH_API_H_
 #define XSKETCH_XSKETCH_API_H_
 
+#include <memory>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 #include "core/builder.h"
+#include "core/compile.h"
 #include "core/estimator.h"
+#include "core/frozen.h"
 #include "core/serialize.h"
 #include "core/twig_xsketch.h"
 #include "data/figures.h"
@@ -45,5 +73,112 @@
 #include "xml/document.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
+
+namespace xsketch::api {
+inline namespace v1 {
+
+// A query lowered to a compiled program, bound to the Session that
+// prepared it. Cheap to copy (shared handle), immutable, and safe to
+// execute from any number of threads concurrently. Valid while the
+// owning Session (any copy of it) is alive.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  // Estimated number of binding tuples — the compiled fast path,
+  // bit-identical to core::Estimator::Estimate on the session's sketch.
+  double Execute() const { return plan_->Execute(); }
+
+  // Estimate plus diagnostics (bit-identical to EstimateWithStats,
+  // counters included).
+  core::EstimateStats ExecuteWithStats() const {
+    return plan_->ExecuteWithStats();
+  }
+
+  // The underlying program (Tier-2 interop; diagnostics like
+  // plan_count() / SizeBytes() live there).
+  const core::CompiledTwig& plan() const { return *plan_; }
+
+ private:
+  friend class Session;
+  explicit PreparedQuery(std::shared_ptr<const core::CompiledTwig> plan)
+      : plan_(std::move(plan)) {}
+
+  std::shared_ptr<const core::CompiledTwig> plan_;
+};
+
+// One synopsis opened for querying: owns the sketch, the frozen synopsis,
+// the compiler with its cross-query expansion cache, the LRU plan cache,
+// and the batch thread pool (all via the underlying EstimationService).
+// Copyable shared handle; all methods are const and thread-safe.
+class Session {
+ public:
+  // Takes ownership of `sketch`. Options default to compiled execution
+  // with hardware-concurrency batching; see service::ServiceOptions.
+  static util::Result<Session> Open(core::TwigXSketch sketch,
+                                    const service::ServiceOptions& options =
+                                        {}) {
+    auto svc = service::EstimationService::Create(std::move(sketch), options);
+    if (!svc.ok()) return svc.status();
+    return Session(std::shared_ptr<service::EstimationService>(
+        std::move(svc).value()));
+  }
+
+  // Lowers a validated twig to a compiled program (LRU-cached across
+  // calls: preparing the same shape twice returns the cached program).
+  util::Result<PreparedQuery> Prepare(const query::TwigQuery& twig) const {
+    auto plan = service_->Prepare(twig);
+    if (!plan.ok()) return plan.status();
+    return PreparedQuery(std::move(plan).value());
+  }
+
+  // Convenience: parse an XPath-style path ("//a[b]/c[d>5]") against the
+  // session's tag table, then Prepare it.
+  util::Result<PreparedQuery> Prepare(std::string_view path) const {
+    auto twig = query::ParsePath(path, service_->sketch().doc().tags());
+    if (!twig.ok()) return twig.status();
+    return Prepare(twig.value());
+  }
+
+  // One-shot estimate with diagnostics: Prepare + execute (still through
+  // the plan cache, so repeated shapes stay fast).
+  util::Result<core::EstimateStats> Execute(
+      const query::TwigQuery& twig) const {
+    auto prepared = Prepare(twig);
+    if (!prepared.ok()) return prepared.status();
+    return prepared.value().ExecuteWithStats();
+  }
+
+  // Batch estimation across the session's thread pool, order-preserving;
+  // per-query failures surface as failed Results. `stats` (optional)
+  // receives aggregate observability including plan-cache activity.
+  std::vector<util::Result<core::EstimateStats>> ExecuteBatch(
+      std::span<const query::TwigQuery> queries,
+      service::BatchStats* stats = nullptr) const {
+    return service_->EstimateBatch(queries, stats);
+  }
+
+  // Full explain trace of one estimate, via the reference interpreter
+  // (the trace records every E/U/D term; trace->estimate() and the
+  // returned estimate are bit-identical to the compiled path's output).
+  util::Result<core::EstimateStats> Explain(const query::TwigQuery& twig,
+                                            obs::ExplainTrace* trace) const {
+    if (util::Status st = twig.Validate(); !st.ok()) return st;
+    return service_->estimator().EstimateWithTrace(twig, trace);
+  }
+
+  // Tier-2 interop.
+  const core::TwigXSketch& sketch() const { return service_->sketch(); }
+  const service::EstimationService& service() const { return *service_; }
+
+ private:
+  explicit Session(std::shared_ptr<service::EstimationService> service)
+      : service_(std::move(service)) {}
+
+  std::shared_ptr<service::EstimationService> service_;
+};
+
+}  // namespace v1
+}  // namespace xsketch::api
 
 #endif  // XSKETCH_XSKETCH_API_H_

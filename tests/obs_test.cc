@@ -350,7 +350,11 @@ TEST(MetricsConcurrencyTest, AuditModeBatchSharedRegistry) {
   EXPECT_EQ(stats.queries, queries.size());
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_LE(stats.cache_hits, stats.cache_lookups);
-  EXPECT_GT(stats.cache_lookups, 0u);  // '//' queries must hit the cache
+  // The compiled batch path resolves '//' at Prepare time, so cache
+  // activity shows up on the plan cache rather than the estimator's
+  // per-query path cache.
+  EXPECT_LE(stats.plan_cache_hits, stats.plan_cache_lookups);
+  EXPECT_GT(stats.plan_cache_lookups, 0u);
   // audit_fraction = 0.5 over 200+ queries: the sample cannot be empty or
   // everything.
   EXPECT_GT(stats.audited, 0u);

@@ -157,12 +157,31 @@ TEST(EstimationServiceTest, BatchStatsAggregates) {
   ASSERT_EQ(results.size(), queries.size());
   EXPECT_GT(stats.wall_ms, 0.0);
   EXPECT_GE(stats.p95_latency_us, stats.p50_latency_us);
-  // The workload's '//' steps hit the path cache; a second identical
-  // batch should be all hits.
   EXPECT_GT(stats.uniformity_terms + stats.covered_terms, 0);
+  // Default (compiled) path: every query is a plan-cache lookup, and a
+  // second identical batch reuses every program.
+  EXPECT_EQ(stats.plan_cache_lookups, queries.size());
   BatchStats again;
   svc.value()->EstimateBatch(queries, &again);
-  EXPECT_EQ(again.cache_hit_rate, 1.0);
+  EXPECT_EQ(again.plan_cache_lookups, queries.size());
+  EXPECT_EQ(again.plan_cache_hits, queries.size());
+  // Plan hits skip estimation entirely, so the '//' path cache sees no
+  // traffic on the repeat batch.
+  EXPECT_EQ(again.cache_lookups, 0u);
+
+  // Interpreted path: the workload's '//' steps hit the estimator's path
+  // cache instead; a second identical batch is all hits there.
+  ServiceOptions iopts = opts;
+  iopts.use_compiled = false;
+  auto interp = EstimationService::Create(
+      core::TwigXSketch::Coarsest(XMarkDoc()), iopts);
+  ASSERT_TRUE(interp.ok());
+  BatchStats istats;
+  interp.value()->EstimateBatch(queries, &istats);
+  EXPECT_EQ(istats.plan_cache_lookups, 0u);
+  BatchStats iagain;
+  interp.value()->EstimateBatch(queries, &iagain);
+  EXPECT_EQ(iagain.cache_hit_rate, 1.0);
 }
 
 TEST(EstimationServiceTest, MalformedQueriesFailPerQueryNotPerBatch) {
