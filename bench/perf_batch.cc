@@ -160,8 +160,17 @@ int main(int argc, char** argv) {
   }
 
   if (delta) {
-    // CI gate: the compiled hot path must not regress below the memoized
-    // interpreter on the same single-thread workload.
+    // CI gate: the compiled hot path must stay comfortably ahead of the
+    // memoized interpreter on the same single-thread workload. The gate is
+    // a *relative* threshold, not "any slower": best-of-3 q/s on a small
+    // workload jitters ~±20% on a loaded CI box, so an absolute comparison
+    // fails open (a real 30% regression hides inside the noise) and fails
+    // closed (a noisy run flags nothing). The compiled path runs ~3x the
+    // interpreter when healthy; requiring 2.0x leaves a documented noise
+    // margin while still catching any regression that halves the win.
+    // Override for unusual machines: XS_BENCH_DELTA_MIN_SPEEDUP.
+    const double min_speedup =
+        bench::EnvDouble("XS_BENCH_DELTA_MIN_SPEEDUP", 2.0);
     double interp_best = 0.0;
     for (int r = 0; r < repeats; ++r) {
       core::Estimator est(sketch);
@@ -170,12 +179,16 @@ int main(int argc, char** argv) {
       interp_best = std::max(interp_best, static_cast<double>(queries.size()) /
                                               SecondsSince(start));
     }
-    std::printf("bench_delta: interpreted %.0f q/s, compiled %.0f q/s (%.2fx)\n",
-                interp_best, comp_best, comp_best / interp_best);
-    if (comp_best < interp_best) {
+    const double speedup = comp_best / interp_best;
+    std::printf(
+        "bench_delta: interpreted %.0f q/s, compiled %.0f q/s (%.2fx, "
+        "gate >= %.2fx)\n",
+        interp_best, comp_best, speedup, min_speedup);
+    if (speedup < min_speedup) {
       std::fprintf(stderr,
-                   "bench_delta FAILED: compiled path slower than the "
-                   "interpreted baseline\n");
+                   "bench_delta FAILED: compiled/interpreted speedup %.2fx "
+                   "below the %.2fx gate\n",
+                   speedup, min_speedup);
       return 1;
     }
     return 0;

@@ -10,6 +10,13 @@
 //                                          parallel batch estimation
 //   xsketch_cli exact    <doc> <query>...                 ground truth
 //   xsketch_cli stats    <doc>                            document summary
+//   xsketch_cli convert <doc> <sketch.xsk2> <out.xsk3>
+//                       freeze an XSK2 sketch into the mmap-able XSK3
+//                       format (estimates bit-identical, cold loads O(1))
+//   xsketch_cli catalog <spec-file> [--budget-mb MB] [--query Q]
+//                       load a catalog of XSK3 sketches (spec lines:
+//                       "<doc-id> <path.xsk3>"), optionally estimate Q
+//                       against every document, print catalog stats
 //
 // <doc> is either a path to an XML file or one of the built-in data set
 // names xmark / imdb / sprot (optionally with a scale suffix, e.g.
@@ -44,6 +51,9 @@ int Usage() {
                "[threads] [--audit FRACTION] [--metrics]\n"
                "  xsketch_cli exact <doc> <query>...\n"
                "  xsketch_cli stats <doc>\n"
+               "  xsketch_cli convert <doc> <sketch.xsk2> <out.xsk3>\n"
+               "  xsketch_cli catalog <spec-file> [--budget-mb MB] "
+               "[--query Q]\n"
                "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n"
                "[threads]: 0 = hardware concurrency (default)\n"
                "--audit: exactly evaluate a sampled fraction of the batch "
@@ -136,8 +146,118 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
 
+  // The catalog works from XSK3 files alone — no document load.
+  if (cmd == "catalog") {
+    service::CatalogOptions copts;
+    std::string query_text;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--budget-mb") {
+        double mb = 0.0;
+        if (++i >= argc || !ParseDoubleArg(argv[i], "budget (MB)", &mb)) {
+          return 1;
+        }
+        copts.byte_budget = static_cast<uint64_t>(mb * 1024 * 1024);
+      } else if (arg == "--query") {
+        if (++i >= argc) return Usage();
+        query_text = argv[i];
+      } else {
+        return Usage();
+      }
+    }
+    std::ifstream spec(argv[2]);
+    if (!spec) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    auto catalog = service::SketchCatalog::Create(copts);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> doc_ids;
+    std::string line;
+    int rc = 0;
+    while (std::getline(spec, line)) {
+      const size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      std::istringstream fields(line);
+      std::string doc_id, path;
+      if (!(fields >> doc_id >> path)) {
+        std::fprintf(stderr, "bad spec line (want '<doc-id> <path>'): %s\n",
+                     line.c_str());
+        rc = 1;
+        continue;
+      }
+      auto put = catalog.value()->Put(doc_id, path);
+      if (!put.ok()) {
+        std::fprintf(stderr, "%s: %s\n", doc_id.c_str(),
+                     put.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      doc_ids.push_back(doc_id);
+      std::printf("loaded %-20s gen %llu  %8.1f KB  %s\n", doc_id.c_str(),
+                  static_cast<unsigned long long>(put.value().generation()),
+                  put.value().size_bytes() / 1024.0, path.c_str());
+    }
+    if (!query_text.empty()) {
+      for (const std::string& doc_id : doc_ids) {
+        auto handle = catalog.value()->Get(doc_id);
+        if (!handle.ok()) continue;  // evicted under the budget
+        auto plan = handle.value().Prepare(query_text);
+        if (!plan.ok()) {
+          std::printf("%-20s %s\n", doc_id.c_str(),
+                      plan.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%-20s %-40s %14.1f\n", doc_id.c_str(),
+                    query_text.c_str(), plan.value()->Execute());
+      }
+    }
+    const auto s = catalog.value()->stats();
+    std::printf(
+        "catalog: %zu sketches resident (%.1f KB), %llu loads "
+        "(%llu failed), %llu evictions, %llu swaps, generation %llu\n",
+        s.sketches, s.resident_bytes / 1024.0,
+        static_cast<unsigned long long>(s.loads),
+        static_cast<unsigned long long>(s.load_failures),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.swaps),
+        static_cast<unsigned long long>(s.generation));
+    return rc;
+  }
+
   xml::Document doc;
   if (!LoadDoc(argv[2], &doc)) return 1;
+
+  if (cmd == "convert") {
+    if (argc < 5) return Usage();
+    auto sketch = core::LoadSketchFromFile(argv[3], doc);
+    if (!sketch.ok()) {
+      std::fprintf(stderr, "%s\n", sketch.status().ToString().c_str());
+      return 1;
+    }
+    const core::FrozenSynopsis frozen(sketch.value());
+    if (util::Status st = core::SaveFrozenToFile(frozen, argv[4]);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    // Verify the conversion end to end: mmap the file back and check the
+    // image validates (checksums included) before reporting success.
+    core::FrozenLoadOptions verify;
+    verify.verify_checksums = true;
+    auto reloaded = core::LoadFrozenFile(argv[4], verify);
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "verification failed: %s\n",
+                   reloaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("converted %s -> %s (%.1f KB frozen, %u nodes)\n", argv[3],
+                argv[4], frozen.SizeBytes() / 1024.0, frozen.node_count());
+    return 0;
+  }
 
   if (cmd == "stats") {
     xml::DocumentStats stats = xml::ComputeStats(doc);

@@ -1,0 +1,94 @@
+// Fuzz target: LoadFrozenFromBytes must reject arbitrary bytes cleanly
+// (no crash, no XS_CHECK abort — the loader's validation pass is the only
+// thing standing between a hostile image and the executor's unchecked
+// reads). Any image it accepts must behave like a real synopsis: its
+// accessors stay in bounds, a query compiled from its own tag table
+// executes without tripping an executor invariant, and re-saving it is a
+// fixed point of the XSK3 encoding.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/compile.h"
+#include "core/frozen_io.h"
+#include "query/xpath_parser.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // Checksums off is the default (and the lazier, less protected path);
+  // exercise it first, then the fully verifying configuration. A body that
+  // passes CRC verification must also pass the structural pass, so the
+  // two must agree whenever the checksummed load succeeds.
+  xsketch::core::FrozenLoadOptions lazy;
+  lazy.verify_checksums = false;
+  auto frozen = xsketch::core::LoadFrozenFromBytes(bytes, lazy);
+
+  xsketch::core::FrozenLoadOptions strict;
+  strict.verify_checksums = true;
+  auto checked = xsketch::core::LoadFrozenFromBytes(bytes, strict);
+  if (checked.ok()) {
+    XS_CHECK_MSG(frozen.ok(),
+                 "an image that passes CRC verification must also load "
+                 "without it");
+  }
+  if (!frozen.ok()) return 0;
+
+  const xsketch::core::FrozenSynopsis& syn = *frozen.value();
+
+  // Walk every accessor the executor uses so out-of-bounds spans surface
+  // under ASan even on paths a compiled query happens not to touch.
+  double sink = 0.0;
+  for (xsketch::core::SynNodeId n = 0; n < syn.node_count(); ++n) {
+    sink += syn.count(n);
+    for (const auto* e = syn.edges_begin(n); e != syn.edges_end(n); ++e) {
+      sink += syn.count(e->child) + e->avg + e->exist_frac;
+    }
+    const uint32_t nb = syn.bucket_count(n);
+    for (uint32_t b = 0; b < nb; ++b) {
+      sink += syn.fractions(n)[b] + syn.static_probs(n)[b];
+      for (int d = 0; d < syn.hist_dims(n); ++d) {
+        sink += syn.means(n, d)[b] + syn.lo_minus(n, d)[b] +
+                syn.hi_plus(n, d)[b] + syn.inv_span(n, d)[b];
+      }
+    }
+    for (const auto* f = syn.fwd_begin(n); f != syn.fwd_end(n); ++f) {
+      sink += syn.count(f->to);
+    }
+    for (const auto* b = syn.bwd_begin(n); b != syn.bwd_end(n); ++b) {
+      sink += syn.count(b->to);
+    }
+    if (syn.node_has_values(n)) {
+      sink += syn.ValueFraction(n, -4, 4) + syn.value_offset(n);
+    }
+    for (const auto& ref : syn.value_scope(n)) sink += syn.count(ref.to);
+  }
+  XS_CHECK_MSG(sink == sink, "accepted image produced NaN node data");
+  for (uint32_t t = 0; t < syn.tags().size(); ++t) {
+    for (xsketch::core::SynNodeId n : syn.NodesWithTag(t)) {
+      XS_CHECK_MSG(syn.tag(n) == t, "tag index entry disagrees with node");
+    }
+  }
+
+  // Compile + execute a query over the image's own root tag: the frozen
+  // doubles have been validated, so execution must not trip an XS_CHECK.
+  const std::string root_tag(syn.tags().Get(syn.tag(syn.root_node())));
+  auto q = xsketch::query::ParsePath("//" + root_tag, syn.tags());
+  if (q.ok()) {
+    const xsketch::core::TwigCompiler compiler(frozen.value());
+    auto plan = compiler.Compile(q.value());
+    if (plan.ok()) (void)plan.value()->Execute();
+  }
+
+  // Accepted images re-encode to a loadable fixed point.
+  auto saved = xsketch::core::SaveFrozen(syn);
+  XS_CHECK_MSG(saved.ok(), "an accepted image must re-save");
+  auto again = xsketch::core::LoadFrozenFromBytes(saved.value(), strict);
+  XS_CHECK_MSG(again.ok(), "a re-saved image must load");
+  auto saved_again = xsketch::core::SaveFrozen(*again.value());
+  XS_CHECK_MSG(saved_again.ok() && saved_again.value() == saved.value(),
+               "save -> load -> save must be a fixed point");
+  return 0;
+}

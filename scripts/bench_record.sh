@@ -29,7 +29,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-for bin in perf_batch perf_build perf_synthetic; do
+for bin in perf_batch perf_build perf_coldload perf_synthetic; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "missing $BUILD/bench/$bin — build first (cmake --build $BUILD)" >&2
     exit 1
@@ -60,6 +60,8 @@ echo "recording perf_batch ..." >&2
 "$BUILD/bench/perf_batch" > "$TMP/perf_batch.txt"
 echo "recording perf_build ..." >&2
 "$BUILD/bench/perf_build" > "$TMP/perf_build.txt"
+echo "recording perf_coldload ..." >&2
+"$BUILD/bench/perf_coldload" > "$TMP/perf_coldload.txt"
 echo "recording perf_synthetic ..." >&2
 "$BUILD/bench/perf_synthetic" > "$TMP/perf_synthetic.txt"
 
@@ -92,6 +94,20 @@ build_rows() {
   awk '
     /threads/ && / ms / {
       printf "%s\n      {\"threads\": %s, \"ms\": %s, \"speedup\": %s, \"refinements\": %s}", sep, $1, $3, substr($5, 1, length($5)-1), $6; sep=","
+    }
+  ' "$1"
+}
+
+# perf_coldload rows:
+#   coldload xsk2      1.364 ms       42.4 KB file
+#   coldload xsk3      0.020 ms       17.9 KB file   68.2x faster   bit-identical
+coldload_rows() {
+  awk '
+    /^coldload xsk2/ {
+      printf "%s\n      {\"format\": \"xsk2\", \"ms\": %s, \"file_kb\": %s}", sep, $3, $5; sep=","
+    }
+    /^coldload xsk3/ {
+      printf "%s\n      {\"format\": \"xsk3\", \"ms\": %s, \"file_kb\": %s, \"speedup\": %s}", sep, $3, $5, substr($8, 1, length($8)-1); sep=","
     }
   ' "$1"
 }
@@ -130,6 +146,11 @@ GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
   echo "  \"perf_build\": {"
   echo "    \"raw\": $(raw_json "$TMP/perf_build.txt"),"
   echo "    \"rows\": [$(build_rows "$TMP/perf_build.txt")"
+  echo "    ]"
+  echo "  },"
+  echo "  \"perf_coldload\": {"
+  echo "    \"raw\": $(raw_json "$TMP/perf_coldload.txt"),"
+  echo "    \"rows\": [$(coldload_rows "$TMP/perf_coldload.txt")"
   echo "    ]"
   echo "  },"
   echo "  \"perf_synthetic\": {"

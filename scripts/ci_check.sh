@@ -37,12 +37,19 @@ for tier in unit differential bench_smoke; do
 done
 
 echo "=== bench_delta: compiled vs interpreted ==="
+[ -x "$BUILD/bench/perf_batch" ] ||
+  { echo "ci_check: missing $BUILD/bench/perf_batch" >&2; exit 1; }
 "$BUILD/bench/perf_batch" --delta
 
 echo "=== fuzz smoke (10s per target) ==="
-for f in fuzz_parser fuzz_xpath fuzz_sketch_load; do
+for f in fuzz_parser fuzz_xpath fuzz_sketch_load fuzz_xsk3_load; do
   corpus="$ROOT/fuzz/corpus/${f#fuzz_}"
   echo "--- $f ---"
+  # A missing binary must fail the run, not skip the target silently.
+  [ -x "$BUILD/fuzz/$f" ] ||
+    { echo "ci_check: missing $BUILD/fuzz/$f" >&2; exit 1; }
+  [ -d "$corpus" ] ||
+    { echo "ci_check: missing corpus $corpus" >&2; exit 1; }
   "$BUILD/fuzz/$f" -max_total_time=10 -seed=1 "$corpus"
 done
 

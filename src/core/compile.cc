@@ -355,24 +355,25 @@ class CompiledTwig::Executor {
     return 1.0;  // unreachable
   }
 
-  // Joint H^v(V, C...) conditioning — the one path with no flattened
-  // representation; delegates to the original histogram through the frozen
-  // view's retained sketch, which keeps it bit-identical by construction.
+  // Joint H^v(V, C...) conditioning, over the frozen value layer: the
+  // scope match and the conditional range fraction are transcriptions of
+  // the original histogram code (see FrozenSynopsis), bit-identical to
+  // delegating back to the sketch.
   double DynamicVf(const VfSite& site) {
-    const NodeSummary& s = fz_.sketch().summary(site.n);
+    const std::span<const FrozenSynopsis::ValueRef> scope =
+        fz_.value_scope(site.n);
     std::vector<std::pair<int, double>> given;
-    for (size_t d = 0; d < s.value_scope.size(); ++d) {
-      const CountRef& ref = s.value_scope[d];
+    for (size_t d = 0; d < scope.size(); ++d) {
       for (auto it = sc_.ctx.rbegin(); it != sc_.ctx.rend(); ++it) {
-        if (it->from == ref.from && it->to == ref.to) {
+        if (it->from == scope[d].from && it->to == scope[d].to) {
           given.emplace_back(static_cast<int>(d) + 1, it->value);
           break;
         }
       }
     }
     if (!given.empty()) {
-      return s.joint_values.ConditionalRangeFraction(0, site.lo_coord,
-                                                     site.hi_coord, given);
+      return fz_.JointConditionalRangeFraction(site.n, site.lo_coord,
+                                               site.hi_coord, given);
     }
     return site.fraction;  // context-free marginal, precompiled
   }
@@ -593,29 +594,29 @@ class TwigCompiler::Builder {
   VfSite MakeVfSite(SynNodeId n, const query::TwigQuery::Node& tnode) {
     VfSite site;
     if (!tnode.pred.has_value()) return site;  // kOne
-    const NodeSummary& s = fz_.sketch().summary(n);
-    if (s.values.empty()) {
+    if (!fz_.node_has_values(n)) {
       // No element of n carries a value: the fraction is 0 regardless of
       // context (still a counted value-fraction site).
       site.kind = VfSite::Kind::kStatic;
       site.fraction = 0.0;
       return site;
     }
-    if (!s.value_scope.empty() && !s.joint_values.empty()) {
+    if (fz_.has_joint_values(n)) {
+      const int64_t value_offset = fz_.value_offset(n);
       site.kind = VfSite::Kind::kDynamic;
       site.n = n;
       site.lo_coord = static_cast<double>(
-          tnode.pred->lo == INT64_MIN ? 0 : tnode.pred->lo - s.value_offset);
+          tnode.pred->lo == INT64_MIN ? 0 : tnode.pred->lo - value_offset);
       site.hi_coord = static_cast<double>(
           tnode.pred->hi == INT64_MAX
               ? std::numeric_limits<uint32_t>::max()
-              : tnode.pred->hi - s.value_offset);
+              : tnode.pred->hi - value_offset);
       // Context-free fallback: the 1-D marginal.
-      site.fraction = s.values.EstimateFraction(tnode.pred->lo, tnode.pred->hi);
+      site.fraction = fz_.ValueFraction(n, tnode.pred->lo, tnode.pred->hi);
       return site;
     }
     site.kind = VfSite::Kind::kStatic;
-    site.fraction = s.values.EstimateFraction(tnode.pred->lo, tnode.pred->hi);
+    site.fraction = fz_.ValueFraction(n, tnode.pred->lo, tnode.pred->hi);
     return site;
   }
 
@@ -711,7 +712,7 @@ class TwigCompiler::Builder {
           st.avg = e->avg;
           st.exist_frac = e->exist_frac;
           st.avg_given_exist = e->avg_given_exist;
-          st.parent_zero = e->parent_zero;
+          st.parent_zero = e->parent_zero != 0;
           if (idx > 0 && st.covered_dim >= 0) {
             // Covered interior step: ChainTerm enumerates `cur`'s
             // histogram unconditionally.

@@ -259,8 +259,20 @@ util::Result<TwigXSketch> LoadSketchFromFile(const std::string& path,
                                              const xml::Document& doc) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::NotFound("cannot open " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+  // A stream error mid-read must surface as an I/O failure, never as a
+  // silently truncated buffer handed to the parser. libstdc++'s filebuf
+  // throws from underflow on some read errors (e.g. the path is a
+  // directory); other failures set badbit — catch both.
+  std::string bytes;
+  try {
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  } catch (const std::exception& e) {
+    return util::Status::Internal("read error on " + path + ": " + e.what());
+  }
+  if (in.bad()) {
+    return util::Status::Internal("read error on " + path);
+  }
   return LoadSketch(bytes, doc);
 }
 

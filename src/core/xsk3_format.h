@@ -1,0 +1,116 @@
+// XSK3 on-disk layout: the mmap-able serialization of FrozenSynopsis.
+//
+// An XSK3 file is a byte-image of the frozen CSR/SoA arrays:
+//
+//   [ Xsk3Header (64 bytes) ]
+//   [ Xsk3Section table: kXsk3SectionCount entries x 32 bytes ]
+//   [ sections, each 64-byte aligned, in table order ]
+//
+// Every scalar is little-endian; floats are IEEE-754 binary64 written as
+// their little-endian bit pattern. The file is only produced and consumed
+// on little-endian hosts (big-endian hosts get a clean error instead of a
+// silent byte-swapped view), which is what makes LoadFrozen an O(1)
+// pointer fix-up: each section becomes a typed span into the mapping, no
+// per-element decode.
+//
+// Sections appear exactly once each, in id order, densely packed (64-byte
+// aligned, no gaps beyond alignment padding). The loader validates every
+// offset/count against the file length plus the structural invariants the
+// executor assumes (CSR monotonicity, index ranges, finite positive
+// fractions) — on-disk sizes are never trusted. See frozen_io.h for the
+// save/load entry points and DESIGN.md section 10 for the full contract.
+
+#ifndef XSKETCH_CORE_XSK3_FORMAT_H_
+#define XSKETCH_CORE_XSK3_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xsketch::core {
+
+inline constexpr char kXsk3Magic[4] = {'X', 'S', 'K', '3'};
+inline constexpr uint32_t kXsk3Version = 1;
+inline constexpr size_t kXsk3Alignment = 64;
+
+// Header flags.
+inline constexpr uint32_t kXsk3FlagBackwardDims = 1u << 0;
+
+struct Xsk3Header {
+  char magic[4];           // "XSK3"
+  uint32_t version;        // kXsk3Version
+  uint64_t file_size;      // total bytes; must equal the mapped size
+  uint32_t header_crc;     // CRC32 of header + section table, field zeroed
+  uint32_t section_count;  // kXsk3SectionCount
+  uint32_t node_count;     // synopsis nodes (>= 1)
+  uint32_t tag_count;      // entries in the tag-name table
+  uint32_t root_node;      // < node_count
+  uint32_t doc_max_depth;
+  uint32_t flags;          // kXsk3Flag*
+  uint32_t reserved0;      // zero
+  uint64_t doc_size;       // source document element count (diagnostics)
+  uint64_t reserved1;      // zero
+};
+static_assert(sizeof(Xsk3Header) == 64, "XSK3 header layout is frozen");
+
+struct Xsk3Section {
+  uint32_t id;      // Xsk3SectionId, ascending
+  uint32_t crc;     // CRC32 of the payload bytes
+  uint64_t offset;  // from file start; kXsk3Alignment-aligned
+  uint64_t count;   // element count
+  uint64_t bytes;   // payload size; count * element size for typed sections
+};
+static_assert(sizeof(Xsk3Section) == 32, "XSK3 section entry is frozen");
+
+// Section ids, in file order. Element types/counts are validated in
+// frozen_io.cc (see SectionSpec there); the short names mirror the
+// FrozenSynopsis members they back.
+enum Xsk3SectionId : uint32_t {
+  kSecTag = 1,           // u32 x node_count
+  kSecCount,             // f64 x node_count
+  kSecEdgeBegin,         // u32 x node_count + 1 (CSR)
+  kSecEdges,             // FrozenSynopsis::Edge x E
+  kSecHistDims,          // i32 x node_count
+  kSecBucketBegin,       // u32 x node_count + 1 (CSR)
+  kSecColBegin,          // u64 x node_count
+  kSecBucketFrac,        // f64 x B
+  kSecStaticProb,        // f64 x B
+  kSecMean,              // f64 x C (column-major)
+  kSecLoMinus,           // f64 x C
+  kSecHiPlus,            // f64 x C
+  kSecInvSpan,           // f64 x C
+  kSecFwdBegin,          // u32 x node_count + 1 (CSR)
+  kSecBwdBegin,          // u32 x node_count + 1 (CSR)
+  kSecFwd,               // FrozenSynopsis::ForwardDim x F
+  kSecBwd,               // FrozenSynopsis::BackwardDim x W
+  kSecTagBegin,          // u32 x tag_count + 1 (CSR)
+  kSecTagNodes,          // u32 x T
+  kSecVBucketBegin,      // u32 x node_count + 1 (CSR)
+  kSecVBuckets,          // FrozenSynopsis::ValueBucket x V
+  kSecVTotal,            // u64 x node_count
+  kSecVOffset,           // i64 x node_count
+  kSecVScopeBegin,       // u32 x node_count + 1 (CSR)
+  kSecVScope,            // FrozenSynopsis::ValueRef x S
+  kSecJDims,             // i32 x node_count
+  kSecJBucketBegin,      // u32 x node_count + 1 (CSR)
+  kSecJColBegin,         // u64 x node_count
+  kSecJFrac,             // f64 x JB
+  kSecJLoMinus,          // f64 x JC (column-major)
+  kSecJHiPlus,           // f64 x JC
+  kSecJMean,             // f64 x JC
+  kSecTagNameOffsets,    // u32 x tag_count + 1 (CSR into the blob)
+  kSecTagNameBlob,       // raw bytes
+  kXsk3SectionEnd,       // one past the last id
+};
+inline constexpr uint32_t kXsk3SectionCount = kXsk3SectionEnd - 1;
+
+inline constexpr size_t Xsk3Align(size_t offset) {
+  return (offset + kXsk3Alignment - 1) & ~(kXsk3Alignment - 1);
+}
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib crc32), self-contained so the
+// format has no external dependency.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace xsketch::core
+
+#endif  // XSKETCH_CORE_XSK3_FORMAT_H_

@@ -31,18 +31,27 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// Canonical byte encoding of a twig for plan-cache keying: arena order,
-// one fixed-width record per node. Node order, parent links, and child
-// creation order fully determine the evaluation (and therefore the
-// compiled program), so equal keys imply interchangeable plans.
+// Canonical byte encoding of a twig for plan-cache keying: a node-count
+// prefix, then one length-prefixed record per node in arena order. Node
+// order, parent links, and child creation order fully determine the
+// evaluation (and therefore the compiled program), so equal keys imply
+// interchangeable plans. The explicit length prefixes make the encoding
+// self-delimiting by construction: no record can absorb bytes of its
+// neighbor, so two distinct twigs can never concatenate to the same key
+// (defense in depth on top of the fixed-width record layout).
 std::string EncodeTwigKey(const query::TwigQuery& twig) {
   std::string key;
-  key.reserve(static_cast<size_t>(twig.size()) * 27);
+  key.reserve(4 + static_cast<size_t>(twig.size()) * 28);
   auto put = [&key](const void* p, size_t n) {
     key.append(static_cast<const char*>(p), n);
   };
+  const int32_t node_count = twig.size();
+  put(&node_count, sizeof(node_count));
   for (int t = 0; t < twig.size(); ++t) {
     const auto& node = twig.node(t);
+    const uint8_t record_len =
+        node.pred.has_value() ? 26 : 10;  // bytes after this prefix
+    put(&record_len, 1);
     put(&node.tag, sizeof(node.tag));
     const uint8_t axis = static_cast<uint8_t>(node.axis);
     const uint8_t flags = (node.existential ? 1 : 0) |
@@ -100,19 +109,58 @@ util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
       new EstimationService(std::move(sketch), options, threads));
 }
 
+util::Result<std::unique_ptr<EstimationService>> EstimationService::Create(
+    std::shared_ptr<const core::FrozenSynopsis> frozen,
+    const ServiceOptions& options) {
+  if (util::Status st = options.Validate(); !st.ok()) return st;
+  if (frozen == nullptr) {
+    return util::Status::InvalidArgument("frozen synopsis must not be null");
+  }
+  if (options.audit_fraction > 0.0) {
+    return util::Status::InvalidArgument(
+        "audit mode needs the source document; a frozen-only service has "
+        "none (load the XSK2 sketch instead)");
+  }
+  if (!options.use_compiled) {
+    return util::Status::InvalidArgument(
+        "frozen-only services execute compiled programs; use_compiled "
+        "must stay enabled");
+  }
+  const int threads = options.num_threads > 0
+                          ? options.num_threads
+                          : util::ThreadPool::HardwareThreads();
+  return std::unique_ptr<EstimationService>(
+      new EstimationService(std::move(frozen), options, threads));
+}
+
 EstimationService::EstimationService(core::TwigXSketch sketch,
                                      const ServiceOptions& options,
                                      int num_threads)
     : sketch_(std::move(sketch)),
       options_(options),
-      estimator_(sketch_, options.estimator),
-      frozen_(std::make_shared<const core::FrozenSynopsis>(sketch_)),
+      frozen_(std::make_shared<const core::FrozenSynopsis>(*sketch_)),
       compiler_(std::make_unique<const core::TwigCompiler>(frozen_,
                                                            options.estimator)),
       pool_(num_threads) {
+  estimator_.emplace(*sketch_, options.estimator);
   if (options_.audit_fraction > 0.0) {
-    exact_ = std::make_unique<query::ExactEvaluator>(sketch_.doc());
+    exact_ = std::make_unique<query::ExactEvaluator>(sketch_->doc());
   }
+  InitMetrics();
+}
+
+EstimationService::EstimationService(
+    std::shared_ptr<const core::FrozenSynopsis> frozen,
+    const ServiceOptions& options, int num_threads)
+    : options_(options),
+      frozen_(std::move(frozen)),
+      compiler_(std::make_unique<const core::TwigCompiler>(frozen_,
+                                                           options.estimator)),
+      pool_(num_threads) {
+  InitMetrics();
+}
+
+void EstimationService::InitMetrics() {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   metrics_.batches =
       &reg.GetCounter("xsketch_service_batches_total", "EstimateBatch calls");
@@ -210,14 +258,19 @@ EstimationService::~EstimationService() = default;
 
 util::Result<core::EstimateStats> EstimationService::Estimate(
     const query::TwigQuery& twig) const {
-  return estimator_.EstimateChecked(twig);
+  if (estimator_.has_value()) return estimator_->EstimateChecked(twig);
+  // Frozen-only service: the compiled path is the only path (and it is
+  // bit-identical to the interpreter by the compile-layer contract).
+  return EstimateCompiled(twig);
 }
 
 std::vector<util::Result<core::EstimateStats>>
 EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
                                  BatchStats* stats) {
   const Clock::time_point batch_start = Clock::now();
-  const auto cache_before = estimator_.path_cache_counters();
+  const core::DescendantPathCache::Counters cache_before =
+      estimator_.has_value() ? estimator_->path_cache_counters()
+                             : core::DescendantPathCache::Counters{};
   const auto plans_before = plan_cache_counters();
 
   const size_t n = queries.size();
@@ -248,7 +301,7 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
         if (options_.use_compiled) {
           staged[i].emplace(EstimateCompiled(queries[i]));
         } else {
-          staged[i].emplace(estimator_.EstimateChecked(queries[i]));
+          staged[i].emplace(estimator_->EstimateChecked(queries[i]));
         }
         latencies_us[i] = MicrosBetween(q_start, Clock::now());
         metrics_.latency_us->Observe(latencies_us[i]);
@@ -303,7 +356,9 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
     agg.wall_ms = MicrosBetween(batch_start, Clock::now()) / 1000.0;
     agg.p50_latency_us = util::Percentile(latencies_us, 0.50);
     agg.p95_latency_us = util::Percentile(latencies_us, 0.95);
-    const auto cache_after = estimator_.path_cache_counters();
+    const core::DescendantPathCache::Counters cache_after =
+        estimator_.has_value() ? estimator_->path_cache_counters()
+                               : core::DescendantPathCache::Counters{};
     agg.cache_lookups = cache_after.lookups - cache_before.lookups;
     agg.cache_hits = cache_after.hits - cache_before.hits;
     agg.cache_hit_rate =

@@ -36,6 +36,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -130,6 +131,16 @@ class EstimationService {
   static util::Result<std::unique_ptr<EstimationService>> Create(
       core::TwigXSketch sketch, const ServiceOptions& options = {});
 
+  // Frozen-only service over an already-frozen synopsis — typically one
+  // mmap-loaded from an XSK3 file (core/frozen_io.h). No TwigXSketch, no
+  // source document: every estimate runs as a compiled program over the
+  // frozen arrays (bit-identical to the full-sketch service). Rejects
+  // options that need the document or the interpreter (audit_fraction > 0,
+  // use_compiled == false).
+  static util::Result<std::unique_ptr<EstimationService>> Create(
+      std::shared_ptr<const core::FrozenSynopsis> frozen,
+      const ServiceOptions& options = {});
+
   ~EstimationService();
 
   EstimationService(const EstimationService&) = delete;
@@ -172,14 +183,26 @@ class EstimationService {
   // Lifetime plan-cache activity for this service.
   PlanCacheCounters plan_cache_counters() const;
 
-  const core::TwigXSketch& sketch() const { return sketch_; }
-  const core::Estimator& estimator() const { return estimator_; }
+  // False for frozen-only services (no TwigXSketch, no source document);
+  // sketch() and estimator() may only be called when this is true.
+  bool has_sketch() const { return sketch_.has_value(); }
+  const core::TwigXSketch& sketch() const { return *sketch_; }
+  const core::Estimator& estimator() const { return *estimator_; }
   const core::TwigCompiler& compiler() const { return *compiler_; }
+  const core::FrozenSynopsis& frozen() const { return *frozen_; }
+  // Tag names usable for parsing path queries against this service —
+  // works in both modes (the frozen synopsis carries its own interner).
+  const util::StringInterner& tags() const { return frozen_->tags(); }
   int num_threads() const { return pool_.num_threads(); }
 
  private:
   EstimationService(core::TwigXSketch sketch, const ServiceOptions& options,
                     int num_threads);
+  EstimationService(std::shared_ptr<const core::FrozenSynopsis> frozen,
+                    const ServiceOptions& options, int num_threads);
+
+  // Registry handles + metric wiring shared by both constructors.
+  void InitMetrics();
 
   // True iff query `index` of a batch falls in the audit sample
   // (deterministic in (audit_seed, index)).
@@ -214,11 +237,14 @@ class EstimationService {
   };
   using PlanList = std::list<PlanEntry>;
 
-  core::TwigXSketch sketch_;   // owned; never mutated after construction
+  // Owned sketch + interpreter; absent for frozen-only services. The
+  // estimator references sketch_, so it is declared after it and
+  // destroyed before it.
+  std::optional<core::TwigXSketch> sketch_;
   ServiceOptions options_;
-  core::Estimator estimator_;  // shared by all workers
-  // Frozen view + compiler for the prepared path (reference sketch_, so
-  // they are declared after it and destroyed before it).
+  std::optional<core::Estimator> estimator_;  // shared by all workers
+  // Frozen synopsis for the prepared path: self-contained (owns or pins
+  // its storage), present in both modes.
   std::shared_ptr<const core::FrozenSynopsis> frozen_;
   std::unique_ptr<const core::TwigCompiler> compiler_;
   mutable std::mutex plan_mu_;

@@ -1,0 +1,164 @@
+#include "service/sketch_catalog.h"
+
+#include <utility>
+
+#include "query/xpath_parser.h"
+#include "util/check.h"
+
+namespace xsketch::service {
+
+util::Result<std::shared_ptr<const core::CompiledTwig>>
+SketchHandle::Prepare(const query::TwigQuery& twig) const {
+  if (!valid()) {
+    return util::Status::InvalidArgument("empty sketch handle");
+  }
+  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  return compiler_->Compile(twig);
+}
+
+util::Result<std::shared_ptr<const core::CompiledTwig>>
+SketchHandle::Prepare(const std::string& path) const {
+  if (!valid()) {
+    return util::Status::InvalidArgument("empty sketch handle");
+  }
+  auto twig = query::ParsePath(path, frozen_->tags());
+  if (!twig.ok()) return twig.status();
+  return Prepare(twig.value());
+}
+
+util::Result<std::unique_ptr<SketchCatalog>> SketchCatalog::Create(
+    const CatalogOptions& options) {
+  if (util::Status st = options.Validate(); !st.ok()) return st;
+  return std::unique_ptr<SketchCatalog>(new SketchCatalog(options));
+}
+
+SketchCatalog::SketchCatalog(const CatalogOptions& options)
+    : options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  metrics_.loads = &reg.GetCounter("xsketch_catalog_loads_total",
+                                   "XSK3 sketches loaded into the catalog");
+  metrics_.load_failures =
+      &reg.GetCounter("xsketch_catalog_load_failures_total",
+                      "XSK3 loads rejected (validation or I/O failure)");
+  metrics_.hits = &reg.GetCounter("xsketch_catalog_hits_total",
+                                  "catalog lookups that found the doc id");
+  metrics_.misses = &reg.GetCounter("xsketch_catalog_misses_total",
+                                    "catalog lookups that missed");
+  metrics_.evictions =
+      &reg.GetCounter("xsketch_catalog_evictions_total",
+                      "sketches evicted to satisfy the byte budget");
+  metrics_.swaps =
+      &reg.GetCounter("xsketch_catalog_swaps_total",
+                      "hot swaps (Put replacing an existing doc id)");
+  metrics_.sketches = &reg.GetGauge("xsketch_catalog_sketches",
+                                    "sketches currently resident");
+  metrics_.resident_bytes =
+      &reg.GetGauge("xsketch_catalog_resident_bytes",
+                    "measured bytes of resident frozen synopses");
+}
+
+util::Result<SketchHandle> SketchCatalog::Put(const std::string& doc_id,
+                                              const std::string& path) {
+  if (doc_id.empty()) {
+    return util::Status::InvalidArgument("doc_id must not be empty");
+  }
+  // Load and compile outside the lock: a slow mmap + validation of one
+  // document must not stall lookups of the others. On failure the catalog
+  // is untouched.
+  auto frozen = core::LoadFrozenFile(path, options_.load);
+  if (!frozen.ok()) {
+    metrics_.load_failures->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.load_failures;
+    }
+    return frozen.status();
+  }
+
+  SketchHandle handle;
+  handle.doc_id_ = doc_id;
+  handle.frozen_ = std::move(frozen).value();
+  handle.size_bytes_ = handle.frozen_->SizeBytes();
+  handle.compiler_ = std::make_shared<const core::TwigCompiler>(
+      handle.frozen_, options_.estimator);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  handle.generation_ = next_generation_++;
+  ++counters_.loads;
+  metrics_.loads->Increment();
+  auto it = index_.find(doc_id);
+  if (it != index_.end()) {
+    // Atomic hot swap: the old generation leaves the catalog here, but
+    // any outstanding handle still pins its mapping.
+    resident_bytes_ -= it->second->size_bytes_;
+    *it->second = handle;
+    resident_bytes_ += handle.size_bytes_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++counters_.swaps;
+    metrics_.swaps->Increment();
+  } else {
+    lru_.push_front(handle);
+    index_.emplace(doc_id, lru_.begin());
+    resident_bytes_ += handle.size_bytes_;
+  }
+  EnforceBudgetLocked(doc_id);
+  metrics_.sketches->Set(static_cast<double>(lru_.size()));
+  metrics_.resident_bytes->Set(static_cast<double>(resident_bytes_));
+  return handle;
+}
+
+util::Result<SketchHandle> SketchCatalog::Get(const std::string& doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(doc_id);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    metrics_.misses->Increment();
+    return util::Status::NotFound("no sketch for document '" + doc_id +
+                                  "'");
+  }
+  ++counters_.hits;
+  metrics_.hits->Increment();
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return *it->second;
+}
+
+bool SketchCatalog::Remove(const std::string& doc_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(doc_id);
+  if (it == index_.end()) return false;
+  resident_bytes_ -= it->second->size_bytes_;
+  lru_.erase(it->second);
+  index_.erase(it);
+  metrics_.sketches->Set(static_cast<double>(lru_.size()));
+  metrics_.resident_bytes->Set(static_cast<double>(resident_bytes_));
+  return true;
+}
+
+void SketchCatalog::EnforceBudgetLocked(const std::string& keep) {
+  if (options_.byte_budget == 0) return;
+  while (resident_bytes_ > options_.byte_budget && lru_.size() > 1) {
+    // Evict from the cold end, but never the entry being installed — a
+    // single over-budget sketch still serves.
+    auto victim = std::prev(lru_.end());
+    if (victim->doc_id_ == keep) {
+      if (lru_.size() == 1) break;
+      victim = std::prev(victim);
+    }
+    resident_bytes_ -= victim->size_bytes_;
+    index_.erase(victim->doc_id_);
+    lru_.erase(victim);
+    ++counters_.evictions;
+    metrics_.evictions->Increment();
+  }
+}
+
+SketchCatalog::Stats SketchCatalog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.sketches = lru_.size();
+  s.resident_bytes = resident_bytes_;
+  s.generation = next_generation_ - 1;
+  return s;
+}
+
+}  // namespace xsketch::service

@@ -6,6 +6,7 @@
 #include "core/builder.h"
 #include "core/compile.h"
 #include "core/estimator.h"
+#include "core/frozen_io.h"
 #include "core/serialize.h"
 #include "obs/explain.h"
 #include "query/evaluator.h"
@@ -141,6 +142,28 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
   }
   const core::Estimator restored_estimator(restored.value(), eopts);
 
+  // XSK3 path: the frozen synopsis serialized to the mmap format and
+  // loaded back as a zero-copy view (checksums verified), then
+  // recompiled. Estimates AND diagnostic counters must be bit-identical
+  // to programs over the heap-built frozen synopsis — the storage format
+  // must never perturb a single bit of the arithmetic inputs.
+  auto xsk3_bytes = core::SaveFrozen(*frozen);
+  if (!check.Check(xsk3_bytes.ok(), std::string(sketch_name) + "/xsk3-save",
+                   -1, queries.front(), tags,
+                   "SaveFrozen failed: " + xsk3_bytes.status().ToString())) {
+    return;
+  }
+  core::FrozenLoadOptions xsk3_opts;
+  xsk3_opts.verify_checksums = true;
+  auto xsk3 = core::LoadFrozenFromBytes(xsk3_bytes.value(), xsk3_opts);
+  if (!check.Check(xsk3.ok(), std::string(sketch_name) + "/xsk3-load", -1,
+                   queries.front(), tags,
+                   "LoadFrozenFromBytes(SaveFrozen(...)) failed: " +
+                       xsk3.status().ToString())) {
+    return;
+  }
+  const core::TwigCompiler xsk3_compiler(xsk3.value(), eopts);
+
   // Batch-parallel path: one EstimationService fan-out over the whole
   // query set (copies the sketch; the service owns its own).
   service::ServiceOptions sopts;
@@ -231,6 +254,27 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
               ", vf=" + std::to_string(stats.value_fractions) +
               ", fe=" + std::to_string(stats.existential_terms) +
               ", dc=" + std::to_string(stats.descendant_chains) + ")");
+
+      const auto xplan = xsk3_compiler.Compile(q);
+      if (check.Check(xplan.ok(),
+                      std::string(sketch_name) + "/xsk3-compiled-accepts",
+                      qi, q, tags,
+                      "compiler over the XSK3 view rejected a valid "
+                      "query: " + xplan.status().ToString())) {
+        const core::EstimateStats xstats = xplan.value()->ExecuteWithStats();
+        check.Check(
+            xstats.estimate == estimate &&
+                xstats.covered_terms == stats.covered_terms &&
+                xstats.uniformity_terms == stats.uniformity_terms &&
+                xstats.conditioned_nodes == stats.conditioned_nodes &&
+                xstats.value_fractions == stats.value_fractions &&
+                xstats.existential_terms == stats.existential_terms &&
+                xstats.descendant_chains == stats.descendant_chains,
+            std::string(sketch_name) + "/bit-identity-xsk3", qi, q, tags,
+            "XSK3-loaded ExecuteWithStats " + FormatDouble(xstats.estimate) +
+                " != interpreted " + FormatDouble(estimate) +
+                " (or diagnostic counters diverged)");
+      }
     }
 
     if (check.Check(batch[i].ok(),

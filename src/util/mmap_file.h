@@ -1,0 +1,50 @@
+// Read-only memory-mapped files.
+//
+// MappedFile wraps mmap(2) of a whole file: open, hold the mapping, unmap
+// on destruction. The mapping is private and read-only — writers replace
+// sketch files by renaming a new file into place, never by mutating the
+// mapped bytes — so a MappedFile held via shared_ptr is a stable snapshot
+// of the file at open time even across replacement (POSIX keeps the mapped
+// pages alive after unlink/rename).
+
+#ifndef XSKETCH_UTIL_MMAP_FILE_H_
+#define XSKETCH_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace xsketch::util {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Fails with NotFound when the file cannot be
+  // opened and Internal when the map itself fails. Zero-length files map
+  // to data() == nullptr, size() == 0 (mmap of 0 bytes is invalid).
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace xsketch::util
+
+#endif  // XSKETCH_UTIL_MMAP_FILE_H_

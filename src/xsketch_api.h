@@ -55,6 +55,7 @@
 #include "core/compile.h"
 #include "core/estimator.h"
 #include "core/frozen.h"
+#include "core/frozen_io.h"
 #include "core/serialize.h"
 #include "core/twig_xsketch.h"
 #include "data/figures.h"
@@ -68,6 +69,7 @@
 #include "query/workload.h"
 #include "query/xpath_parser.h"
 #include "service/estimation_service.h"
+#include "service/sketch_catalog.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "xml/document.h"
@@ -124,6 +126,30 @@ class Session {
         std::move(svc).value()));
   }
 
+  // Opens a session over an already-frozen synopsis — typically one
+  // mmap-loaded from an XSK3 file. The session has no source document or
+  // interpreter: Explain and audit mode are unavailable, everything else
+  // (Prepare / Execute / ExecuteBatch) is bit-identical to the heap path.
+  static util::Result<Session> Open(
+      std::shared_ptr<const core::FrozenSynopsis> frozen,
+      const service::ServiceOptions& options = {}) {
+    auto svc = service::EstimationService::Create(std::move(frozen), options);
+    if (!svc.ok()) return svc.status();
+    return Session(std::shared_ptr<service::EstimationService>(
+        std::move(svc).value()));
+  }
+
+  // mmap an XSK3 sketch file and open a frozen-only session over it. The
+  // mapping stays pinned by the session (and by any PreparedQuery that
+  // outlives it).
+  static util::Result<Session> OpenMapped(
+      const std::string& path, const service::ServiceOptions& options = {},
+      const core::FrozenLoadOptions& load = {}) {
+    auto frozen = core::LoadFrozenFile(path, load);
+    if (!frozen.ok()) return frozen.status();
+    return Open(std::move(frozen).value(), options);
+  }
+
   // Lowers a validated twig to a compiled program (LRU-cached across
   // calls: preparing the same shape twice returns the cached program).
   util::Result<PreparedQuery> Prepare(const query::TwigQuery& twig) const {
@@ -135,7 +161,7 @@ class Session {
   // Convenience: parse an XPath-style path ("//a[b]/c[d>5]") against the
   // session's tag table, then Prepare it.
   util::Result<PreparedQuery> Prepare(std::string_view path) const {
-    auto twig = query::ParsePath(path, service_->sketch().doc().tags());
+    auto twig = query::ParsePath(path, service_->tags());
     if (!twig.ok()) return twig.status();
     return Prepare(twig.value());
   }
@@ -161,13 +187,21 @@ class Session {
   // Full explain trace of one estimate, via the reference interpreter
   // (the trace records every E/U/D term; trace->estimate() and the
   // returned estimate are bit-identical to the compiled path's output).
+  // Unavailable on frozen-only sessions (no interpreter).
   util::Result<core::EstimateStats> Explain(const query::TwigQuery& twig,
                                             obs::ExplainTrace* trace) const {
+    if (!service_->has_sketch()) {
+      return util::Status::InvalidArgument(
+          "Explain needs the reference interpreter; this session was "
+          "opened from a frozen (XSK3) sketch");
+    }
     if (util::Status st = twig.Validate(); !st.ok()) return st;
     return service_->estimator().EstimateWithTrace(twig, trace);
   }
 
-  // Tier-2 interop.
+  // Tier-2 interop. sketch() may only be called when has_sketch() is
+  // true (sessions opened from a TwigXSketch, not from a frozen image).
+  bool has_sketch() const { return service_->has_sketch(); }
   const core::TwigXSketch& sketch() const { return service_->sketch(); }
   const service::EstimationService& service() const { return *service_; }
 

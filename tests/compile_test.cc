@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -77,7 +79,10 @@ TEST(FrozenSynopsisTest, MirrorsSketchStructure) {
 
   // Tag index preserves NodesWithTag order.
   for (xml::TagId t = 0; t < doc.tag_count(); ++t) {
-    EXPECT_EQ(frozen.NodesWithTag(t), syn.NodesWithTag(t));
+    const std::span<const core::SynNodeId> got = frozen.NodesWithTag(t);
+    const std::vector<core::SynNodeId>& want = syn.NodesWithTag(t);
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
   }
   EXPECT_GT(frozen.SizeBytes(), 0u);
 }
