@@ -21,9 +21,18 @@
 // sanity invariants. Wired into ctest as part of bench_smoke so the
 // bench harness itself cannot rot unnoticed.
 //
-// --delta: timing gate for scripts/ci_check.sh — measures interpreted vs
-// compiled single-thread throughput on a small fixed workload and fails
-// if the compiled path is slower (a compiled-path performance regression).
+// --delta: timing gates for scripts/ci_check.sh — (1) interpreted vs
+// compiled single-thread throughput on a small fixed workload, failing if
+// the compiled path regresses below the speedup gate; (2) the tracing
+// overhead gate: the compiled row with tracing instrumentation present
+// but unsampled must stay within XS_BENCH_TRACE_MAX_OVERHEAD (default 2%)
+// of the uninstrumented loop — the no-op SpanScope is one thread-local
+// read plus a branch, and this gate keeps it that way.
+//
+// The full run also prints a "traced" row: the 4-thread service with
+// every query span-sampled (trace_sample_rate = 1.0) and the flight
+// recorder on — the worst-case observability configuration, checked
+// bit-identical like every other row.
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +42,7 @@
 #include "bench_common.h"
 #include "core/compile.h"
 #include "core/frozen.h"
+#include "obs/trace.h"
 #include "query/xpath_parser.h"
 #include "service/estimation_service.h"
 
@@ -160,6 +170,52 @@ int main(int argc, char** argv) {
   }
 
   if (delta) {
+    // Tracing overhead gate: the same execute-only loop with an unsampled
+    // SpanScope around every query must stay within the overhead budget
+    // of the bare loop. Both variants are re-timed here, interleaved and
+    // with the workload repeated per timed pass, so the comparison sees
+    // the same cache state and enough work for the clock to resolve.
+    const double max_overhead =
+        bench::EnvDouble("XS_BENCH_TRACE_MAX_OVERHEAD", 0.02);
+    constexpr int kPasses = 20;
+    double plain_best = 0.0, traced_off_best = 0.0;
+    {
+      std::vector<double> out(queries.size());
+      core::ExecScratch scratch;
+      const double per_pass = static_cast<double>(queries.size()) * kPasses;
+      for (int r = 0; r < 7; ++r) {
+        Clock::time_point start = Clock::now();
+        for (int p = 0; p < kPasses; ++p) {
+          for (size_t i = 0; i < queries.size(); ++i) {
+            out[i] = plans[i]->Execute(scratch);
+          }
+        }
+        plain_best = std::max(plain_best, per_pass / SecondsSince(start));
+        start = Clock::now();
+        for (int p = 0; p < kPasses; ++p) {
+          for (size_t i = 0; i < queries.size(); ++i) {
+            obs::SpanScope span(obs::Stage::kExecute);
+            out[i] = plans[i]->Execute(scratch);
+          }
+        }
+        traced_off_best =
+            std::max(traced_off_best, per_pass / SecondsSince(start));
+      }
+    }
+    const double overhead =
+        plain_best > 0.0 ? 1.0 - traced_off_best / plain_best : 0.0;
+    std::printf(
+        "bench_trace: untraced %.0f q/s, tracing-off %.0f q/s "
+        "(overhead %.2f%%, gate <= %.2f%%)\n",
+        plain_best, traced_off_best, overhead * 100.0, max_overhead * 100.0);
+    if (overhead > max_overhead) {
+      std::fprintf(stderr,
+                   "bench_trace FAILED: tracing-off overhead %.2f%% exceeds "
+                   "the %.2f%% gate\n",
+                   overhead * 100.0, max_overhead * 100.0);
+      return 1;
+    }
+
     // CI gate: the compiled hot path must stay comfortably ahead of the
     // memoized interpreter on the same single-thread workload. The gate is
     // a *relative* threshold, not "any slower": best-of-3 q/s on a small
@@ -246,6 +302,54 @@ int main(int argc, char** argv) {
         stats.p95_latency_us, stats.cache_hit_rate * 100.0,
         mismatches == 0 ? "bit-identical" : "MISMATCH");
     if (mismatches != 0) return 1;
+  }
+
+  // Tracing-enabled row: every query span-sampled and the flight recorder
+  // on — the worst-case observability configuration. Estimates must stay
+  // bit-identical; the q/s delta against the 4-thread row above is the
+  // visible cost of full sampling.
+  {
+    service::ServiceOptions opts;
+    opts.num_threads = 4;
+    opts.trace_sample_rate = 1.0;
+    double best = 0.0;
+    size_t mismatches = 0;
+    for (int r = 0; r < repeats; ++r) {
+      auto svc = service::EstimationService::Create(sketch, opts);
+      if (!svc.ok()) {
+        std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
+        return 1;
+      }
+      const Clock::time_point start = Clock::now();
+      auto results = svc.value()->EstimateBatch(queries);
+      best = std::max(best,
+                      static_cast<double>(queries.size()) /
+                          SecondsSince(start));
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            std::memcmp(&results[i].value().estimate, &expected[i].estimate,
+                        sizeof(double)) != 0) {
+          ++mismatches;
+        }
+      }
+      // Bounded rings still hold the last batch; drain between reps so
+      // the drop counter reflects one run, not the whole bench.
+      (void)obs::Tracer::Default().Drain();
+    }
+    if (smoke) {
+      if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "perf_batch --smoke FAILED: %zu mismatches with "
+                     "tracing on\n",
+                     mismatches);
+        return 1;
+      }
+    } else {
+      std::printf("%-12s %12.0f q/s   %5.2fx   sampled 1.0, 4 threads   %s\n",
+                  "traced", best, best / seq_best,
+                  mismatches == 0 ? "bit-identical" : "MISMATCH");
+      if (mismatches != 0) return 1;
+    }
   }
   if (smoke) std::printf("perf_batch --smoke OK\n");
   return 0;

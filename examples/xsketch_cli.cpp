@@ -17,6 +17,16 @@
 //                       load a catalog of XSK3 sketches (spec lines:
 //                       "<doc-id> <path.xsk3>"), optionally estimate Q
 //                       against every document, print catalog stats
+//   xsketch_cli trace   <doc> <query>... [--sketch FILE] [--out FILE]
+//                       [--binary FILE] [--flight]
+//                       run the queries fully traced (parse -> plan cache
+//                       -> compile -> execute, batch fan-out) and emit
+//                       Chrome trace_event JSON (chrome://tracing /
+//                       Perfetto); --binary also writes the compact XTR1
+//                       dump; --flight appends the flight-recorder JSON
+//   xsketch_cli metrics [--prom]
+//                       dump the process metrics registry as JSON
+//                       (default) or Prometheus text
 //
 // <doc> is either a path to an XML file or one of the built-in data set
 // names xmark / imdb / sprot (optionally with a scale suffix, e.g.
@@ -54,6 +64,9 @@ int Usage() {
                "  xsketch_cli convert <doc> <sketch.xsk2> <out.xsk3>\n"
                "  xsketch_cli catalog <spec-file> [--budget-mb MB] "
                "[--query Q]\n"
+               "  xsketch_cli trace <doc> <query>... [--sketch FILE] "
+               "[--out FILE] [--binary FILE] [--flight]\n"
+               "  xsketch_cli metrics [--prom]\n"
                "<doc>: XML file path, or xmark|imdb|sprot[:scale]\n"
                "[threads]: 0 = hardware concurrency (default)\n"
                "--audit: exactly evaluate a sampled fraction of the batch "
@@ -143,8 +156,36 @@ util::Result<query::TwigQuery> ParseQuery(const std::string& text,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string cmd = argv[1];
+
+  // Registry dump — needs no document, so it runs before the argc checks
+  // of the document-bound commands.
+  if (cmd == "metrics") {
+    bool prom = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--prom") {
+        prom = true;
+      } else {
+        return Usage();
+      }
+    }
+    // Touch the default tracer and flight recorder so their metric
+    // families are registered even in a fresh process: the scrape shape
+    // matches what a serving process exposes.
+    (void)obs::Tracer::Default();
+    (void)obs::FlightRecorder::Default();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    if (prom) {
+      std::fputs(reg.ToPrometheusText().c_str(), stdout);
+    } else {
+      std::fputs(reg.ToJson().c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+    return 0;
+  }
+
+  if (argc < 3) return Usage();
 
   // The catalog works from XSK3 files alone — no document load.
   if (cmd == "catalog") {
@@ -230,6 +271,167 @@ int main(int argc, char** argv) {
 
   xml::Document doc;
   if (!LoadDoc(argv[2], &doc)) return 1;
+
+  if (cmd == "trace") {
+    std::string sketch_file, out_file, binary_file;
+    bool dump_flight = false;
+    std::vector<const char*> query_args;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sketch") {
+        if (++i >= argc) return Usage();
+        sketch_file = argv[i];
+      } else if (arg == "--out") {
+        if (++i >= argc) return Usage();
+        out_file = argv[i];
+      } else if (arg == "--binary") {
+        if (++i >= argc) return Usage();
+        binary_file = argv[i];
+      } else if (arg == "--flight") {
+        dump_flight = true;
+      } else {
+        query_args.push_back(argv[i]);
+      }
+    }
+    if (query_args.empty()) return Usage();
+
+    core::TwigXSketch sketch = core::TwigXSketch::Coarsest(doc);
+    if (!sketch_file.empty()) {
+      auto loaded = core::LoadSketchFromFile(sketch_file, doc);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      sketch = std::move(loaded).value();
+    }
+
+    obs::Tracer& tracer = obs::Tracer::Default();
+    tracer.Configure(obs::Tracer::Options{});  // defaults + clean rings
+    obs::FlightRecorder::Default().Reset();
+
+    auto svc = service::EstimationService::Create(std::move(sketch));
+    if (!svc.ok()) {
+      std::fprintf(stderr, "%s\n", svc.status().ToString().c_str());
+      return 1;
+    }
+
+    // One trace for the whole run: parse spans attach under the root, the
+    // service adopts the root for the batch (fan-out spans included).
+    const obs::TraceContext ctx = tracer.ForceTrace();
+    std::vector<query::TwigQuery> queries;
+    std::vector<util::Result<core::EstimateStats>> results;
+    {
+      obs::SpanScope root(ctx, obs::Stage::kQuery, query_args.size());
+      for (const char* arg : query_args) {
+        auto twig = ParseQuery(arg, doc);
+        if (!twig.ok()) {
+          std::fprintf(stderr, "%s: %s\n", arg,
+                       twig.status().ToString().c_str());
+          return 1;
+        }
+        queries.push_back(std::move(twig).value());
+      }
+      results = svc.value()->EstimateBatch(queries);
+    }
+
+    const std::vector<obs::Span> spans = tracer.SpansForTrace(ctx.trace_id);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        std::printf("%-50s %14.1f\n", query_args[i],
+                    results[i].value().estimate);
+      } else {
+        std::printf("%-50s %s\n", query_args[i],
+                    results[i].status().ToString().c_str());
+      }
+    }
+
+    // Per-stage attribution plus reconciliation: within every span, the
+    // durations of its direct children must sum to no more than the span
+    // itself and each child interval must nest inside the parent's.
+    double stage_us[obs::kStageCount] = {};
+    std::vector<double> child_sum_ns(spans.size(), 0.0);
+    int rc = 0;
+    for (const obs::Span& s : spans) {
+      stage_us[static_cast<int>(s.stage)] +=
+          static_cast<double>(s.dur_ns) / 1000.0;
+      if (s.parent_id == 0) continue;
+      for (size_t p = 0; p < spans.size(); ++p) {
+        if (spans[p].span_id != s.parent_id) continue;
+        child_sum_ns[p] += static_cast<double>(s.dur_ns);
+        if (s.start_ns < spans[p].start_ns ||
+            s.start_ns + s.dur_ns > spans[p].start_ns + spans[p].dur_ns) {
+          std::fprintf(stderr,
+                       "reconciliation failure: %s span %llu escapes its "
+                       "parent %s\n",
+                       obs::StageName(s.stage),
+                       static_cast<unsigned long long>(s.span_id),
+                       obs::StageName(spans[p].stage));
+          rc = 1;
+        }
+        break;
+      }
+    }
+    for (size_t p = 0; p < spans.size(); ++p) {
+      if (child_sum_ns[p] >
+          static_cast<double>(spans[p].dur_ns) + 0.5) {
+        std::fprintf(stderr,
+                     "reconciliation failure: children of %s span %llu "
+                     "sum to %.3f us > span's %.3f us\n",
+                     obs::StageName(spans[p].stage),
+                     static_cast<unsigned long long>(spans[p].span_id),
+                     child_sum_ns[p] / 1000.0,
+                     static_cast<double>(spans[p].dur_ns) / 1000.0);
+        rc = 1;
+      }
+    }
+    std::printf("trace %llu: %zu spans, %llu dropped\n",
+                static_cast<unsigned long long>(ctx.trace_id), spans.size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+    std::printf("stage totals (us):");
+    for (int st = 0; st < obs::kStageCount; ++st) {
+      if (stage_us[st] <= 0.0) continue;
+      std::printf(" %s %.1f", obs::StageName(static_cast<obs::Stage>(st)),
+                  stage_us[st]);
+    }
+    std::printf("\n");
+
+    const std::string chrome = obs::Tracer::ToChromeJson(spans);
+    if (out_file.empty()) {
+      std::fputs(chrome.c_str(), stdout);
+      std::fputs("\n", stdout);
+    } else {
+      std::ofstream out(out_file, std::ios::binary);
+      if (!out || !(out << chrome)) {
+        std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu bytes of trace_event JSON to %s\n",
+                  chrome.size(), out_file.c_str());
+    }
+    if (!binary_file.empty()) {
+      const std::string blob = obs::Tracer::ToBinary(spans);
+      auto round_trip = obs::Tracer::FromBinary(blob);
+      if (!round_trip.ok() || round_trip.value().size() != spans.size()) {
+        std::fprintf(stderr, "binary dump failed self-check: %s\n",
+                     round_trip.ok() ? "span count mismatch"
+                                     : round_trip.status().ToString().c_str());
+        return 1;
+      }
+      std::ofstream out(binary_file, std::ios::binary);
+      if (!out || !out.write(blob.data(),
+                             static_cast<std::streamsize>(blob.size()))) {
+        std::fprintf(stderr, "cannot write %s\n", binary_file.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu-byte XTR1 dump to %s\n", blob.size(),
+                  binary_file.c_str());
+    }
+    if (dump_flight) {
+      std::fputs(obs::FlightRecorder::Default().ToJson().c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+    return rc;
+  }
 
   if (cmd == "convert") {
     if (argc < 5) return Usage();

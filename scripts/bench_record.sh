@@ -78,11 +78,13 @@ raw_json() {
 #   sequential         373229 q/s   (baseline)
 #   compiled            ... q/s    3.10x   (prepare+execute, cold cache)
 #    1 threads          ... q/s    0.59x   p50 2.3 us  p95 9.5 us ...
+#   traced              ... q/s    1.80x   sampled 1.0, 4 threads ...
 batch_rows() {
   awk '
     /^sequential/ { printf "%s\n      {\"row\": \"sequential\", \"qps\": %s}", sep, $2; sep="," }
     /^compiled/   { printf "%s\n      {\"row\": \"compiled\", \"qps\": %s, \"speedup\": %s}", sep, $2, substr($4, 1, length($4)-1); sep="," }
-    /threads/ && / q\/s / {
+    /^traced /    { printf "%s\n      {\"row\": \"traced\", \"qps\": %s, \"speedup\": %s}", sep, $2, substr($4, 1, length($4)-1); sep="," }
+    /^ *[0-9]+ threads/ && / q\/s / {
       printf "%s\n      {\"row\": \"%s threads\", \"qps\": %s, \"speedup\": %s, \"p50_us\": %s, \"p95_us\": %s}", sep, $1, $3, substr($5, 1, length($5)-1), $7, $10; sep=","
     }
   ' "$1"

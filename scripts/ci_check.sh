@@ -11,9 +11,12 @@
 #   differential  the randomized differential oracle sweep
 #   bench_smoke   assert-only --smoke pass over the perf benches
 #
-# After the tiers, the bench_delta gate (perf_batch --delta) checks that
-# the compiled prepared-query path has not regressed below the
-# interpreted estimator on a fixed single-thread workload.
+# After the tiers, perf_batch --delta runs two timing gates: bench_delta
+# (the compiled prepared-query path must stay ahead of the interpreted
+# estimator on a fixed single-thread workload) and bench_trace (the
+# compiled row with tracing instrumentation present but unsampled must
+# stay within 2% of the uninstrumented loop; override the budget with
+# XS_BENCH_TRACE_MAX_OVERHEAD).
 #
 # Fuzzers build via -DXSKETCH_FUZZERS=ON (libFuzzer under clang, the
 # standalone replay/mutation driver under gcc) and get a short
@@ -36,7 +39,7 @@ for tier in unit differential bench_smoke; do
   (cd "$BUILD" && ctest -L "$tier" --output-on-failure -j"$(nproc)")
 done
 
-echo "=== bench_delta: compiled vs interpreted ==="
+echo "=== bench gates: bench_trace (tracing overhead) + bench_delta ==="
 [ -x "$BUILD/bench/perf_batch" ] ||
   { echo "ci_check: missing $BUILD/bench/perf_batch" >&2; exit 1; }
 "$BUILD/bench/perf_batch" --delta

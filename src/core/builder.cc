@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/percentiles.h"
 #include "util/thread_pool.h"
@@ -253,6 +254,12 @@ std::vector<Refinement> XBuild::GenerateCandidates(const TwigXSketch& sketch,
 
 TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
   const Clock::time_point build_start = Clock::now();
+  // Trace root for the build (or a child when the caller is already
+  // traced); iterations attach beneath it.
+  obs::TraceContext trace_ctx = obs::CurrentTraceContext();
+  if (!trace_ctx.sampled()) trace_ctx = obs::Tracer::Default().StartTrace();
+  obs::SpanScope build_span(trace_ctx, obs::Stage::kBuild,
+                            options_.budget_bytes);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   obs::Counter& m_builds =
       reg.GetCounter("xsketch_build_runs_total", "XBUILD invocations");
@@ -311,7 +318,9 @@ TwigXSketch XBuild::Build(const StepCallback& on_step, BuildStats* stats) {
   };
 
   int stall = 0;
+  uint64_t iteration_no = 0;
   while (sketch.SizeBytes() < options_.budget_bytes && stall < 15) {
+    obs::SpanScope iter_span(obs::Stage::kBuildIteration, iteration_no++);
     const std::vector<Refinement> candidates =
         GenerateCandidates(sketch, rng);
     if (candidates.empty()) break;

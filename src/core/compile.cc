@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "query/xpath_parser.h"
 #include "util/check.h"
 #include "util/simd.h"
@@ -771,6 +772,8 @@ class TwigCompiler::Builder {
 
 util::Result<std::shared_ptr<const CompiledTwig>> TwigCompiler::Compile(
     const query::TwigQuery& twig) const {
+  obs::SpanScope span(obs::Stage::kCompile,
+                      static_cast<uint64_t>(twig.size()));
   if (util::Status st = twig.Validate(); !st.ok()) return st;
   const auto start = std::chrono::steady_clock::now();
   auto compiled = std::shared_ptr<CompiledTwig>(new CompiledTwig());

@@ -53,11 +53,20 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
 }
 
-void Histogram::Observe(double x) {
+void Histogram::Observe(double x, uint64_t trace_id) {
   const size_t b = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
   counts_[b].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(x, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    // Traced observations are sampled and rare; the lock is effectively
+    // uncontended and never taken for trace_id == 0.
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    if (exemplar_.trace_id == 0 || x > exemplar_.value) {
+      exemplar_.value = x;
+      exemplar_.trace_id = trace_id;
+    }
+  }
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -69,7 +78,20 @@ Histogram::Snapshot Histogram::snapshot() const {
     s.count += s.counts[i];
   }
   s.sum = sum_.load(std::memory_order_relaxed);
+  s.exemplar = exemplar();
   return s;
+}
+
+Histogram::Exemplar Histogram::exemplar() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplar_;
+}
+
+Histogram::Exemplar Histogram::TakeExemplar() {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  Exemplar out = exemplar_;
+  exemplar_ = Exemplar{};
+  return out;
 }
 
 void Histogram::Reset() {
@@ -77,6 +99,7 @@ void Histogram::Reset() {
     counts_[i].store(0, std::memory_order_relaxed);
   }
   sum_.store(0.0, std::memory_order_relaxed);
+  TakeExemplar();
 }
 
 double Histogram::Snapshot::Mean() const {
@@ -199,6 +222,12 @@ std::string MetricsRegistry::ToJson() const {
           out += ",\"count\":" + std::to_string(m.histogram.counts[i]) + "}";
         }
         out += "]";
+        if (m.histogram.exemplar.trace_id != 0) {
+          out += ",\"exemplar\":{\"value\":" +
+                 FormatDouble(m.histogram.exemplar.value) +
+                 ",\"trace_id\":" +
+                 std::to_string(m.histogram.exemplar.trace_id) + "}";
+        }
         break;
       }
     }

@@ -20,7 +20,10 @@
 // text layout (# HELP / # TYPE / cumulative _bucket{le=...} / _sum /
 // _count lines) and the JSON field names (name, kind, help, value, count,
 // sum, buckets[].le, buckets[].count) are stable; dashboards may parse
-// them. New metrics may appear; existing ones keep their meaning.
+// them. New metrics may appear; existing ones keep their meaning. The
+// optional JSON "exemplar" field (histogram→trace linkage) is additive
+// and absent when no traced observation happened; the Prometheus text
+// layout does not include exemplars.
 
 #ifndef XSKETCH_OBS_METRICS_H_
 #define XSKETCH_OBS_METRICS_H_
@@ -49,10 +52,23 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-// Last-written value (sizes, configuration, most-recent error).
+// Last-written value (sizes, configuration, most-recent error) with
+// lossless concurrent deltas for resource accounting (in-flight queries,
+// catalog resident bytes).
 class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // Atomic delta via a CAS loop (std::atomic<double> has no fetch_add
+  // before C++20): concurrent Add/Sub from different threads never lose
+  // updates, unlike read-modify-Set.
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double delta) { Add(-delta); }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -62,17 +78,35 @@ class Gauge {
 // Fixed-bucket latency/error histogram. Bucket bounds are inclusive upper
 // bounds in ascending order; observations above the last bound land in an
 // implicit overflow bucket. Observe() is two relaxed atomic adds.
+//
+// Exemplars (histogram→trace linkage): an observation recorded with a
+// nonzero trace id competes for the histogram's exemplar slot, which
+// retains the *worst* (largest) such observation of the current window.
+// TakeExemplar() reads and resets the slot, starting the next window —
+// dashboards get "the trace id of the slowest query since the last
+// scrape". Observations with trace id 0 (the default) never touch the
+// exemplar path, so untraced recording cost is unchanged. Exemplars
+// appear in the JSON exposition only; the Prometheus text layout is
+// unchanged (its stability promise above predates them).
 class Histogram {
  public:
+  // The worst traced observation of a window. trace_id 0 = no traced
+  // observation seen.
+  struct Exemplar {
+    double value = 0.0;
+    uint64_t trace_id = 0;
+  };
+
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double x);
+  void Observe(double x, uint64_t trace_id = 0);
 
   struct Snapshot {
     std::vector<double> bounds;
     std::vector<uint64_t> counts;  // bounds.size() + 1, overflow last
     uint64_t count = 0;            // sum of counts — always consistent
     double sum = 0.0;
+    Exemplar exemplar;             // current window's worst traced obs
 
     double Mean() const;
     // Conservative quantile: the smallest bucket upper bound whose
@@ -81,12 +115,21 @@ class Histogram {
     double Quantile(double q) const;
   };
   Snapshot snapshot() const;
+  // Current window's exemplar without resetting it.
+  Exemplar exemplar() const;
+  // Reads and clears the exemplar slot, starting a new window.
+  Exemplar TakeExemplar();
   void Reset();
 
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;
   std::atomic<double> sum_{0.0};
+  // Guards the (value, trace_id) pair; taken only when a traced
+  // observation beats the current maximum, so effectively never on the
+  // hot path.
+  mutable std::mutex exemplar_mu_;
+  Exemplar exemplar_;
 };
 
 class MetricsRegistry {

@@ -8,6 +8,8 @@
 #include <system_error>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace xsketch::query {
 
 namespace {
@@ -270,12 +272,14 @@ class PathParser {
 
 util::Result<TwigQuery> ParsePath(std::string_view expr,
                                   const util::StringInterner& tags) {
+  obs::SpanScope span(obs::Stage::kParse, expr.size());
   PathParser parser(expr, tags);
   return parser.ParseSinglePath();
 }
 
 util::Result<TwigQuery> ParseForClause(std::string_view clause,
                                        const util::StringInterner& tags) {
+  obs::SpanScope span(obs::Stage::kParse, clause.size());
   PathParser parser(clause, tags);
   return parser.ParseFor();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight.h"
 #include "util/check.h"
 #include "util/percentiles.h"
 
@@ -31,15 +32,14 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// Canonical byte encoding of a twig for plan-cache keying: a node-count
-// prefix, then one length-prefixed record per node in arena order. Node
-// order, parent links, and child creation order fully determine the
-// evaluation (and therefore the compiled program), so equal keys imply
-// interchangeable plans. The explicit length prefixes make the encoding
-// self-delimiting by construction: no record can absorb bytes of its
-// neighbor, so two distinct twigs can never concatenate to the same key
-// (defense in depth on top of the fixed-width record layout).
-std::string EncodeTwigKey(const query::TwigQuery& twig) {
+}  // namespace
+
+// Plan-cache keying (see the header comment): the explicit length
+// prefixes make the encoding self-delimiting by construction — no record
+// can absorb bytes of its neighbor, so two distinct twigs can never
+// concatenate to the same key (defense in depth on top of the fixed-width
+// record layout).
+std::string CanonicalTwigKey(const query::TwigQuery& twig) {
   std::string key;
   key.reserve(4 + static_cast<size_t>(twig.size()) * 28);
   auto put = [&key](const void* p, size_t n) {
@@ -68,8 +68,6 @@ std::string EncodeTwigKey(const query::TwigQuery& twig) {
   return key;
 }
 
-}  // namespace
-
 util::Status ServiceOptions::Validate() const {
   if (num_threads < 0) {
     return util::Status::InvalidArgument(
@@ -95,6 +93,11 @@ util::Status ServiceOptions::Validate() const {
     return util::Status::InvalidArgument(
         "plan_cache_capacity must be >= 0 (got " +
         std::to_string(plan_cache_capacity) + "; 0 disables caching)");
+  }
+  if (!(trace_sample_rate >= 0.0 && trace_sample_rate <= 1.0)) {
+    return util::Status::InvalidArgument(
+        "trace_sample_rate must be in [0, 1] (got " +
+        std::to_string(trace_sample_rate) + ")");
   }
   return estimator.Validate();
 }
@@ -188,12 +191,45 @@ void EstimationService::InitMetrics() {
   metrics_.plan_evictions =
       &reg.GetCounter("xsketch_service_plan_cache_evictions_total",
                       "compiled plans evicted from the LRU cache");
+  metrics_.inflight =
+      &reg.GetGauge("xsketch_service_inflight_queries",
+                    "batch queries currently executing across workers");
+}
+
+bool EstimationService::TraceSelected(uint64_t ordinal) const {
+  const double rate = options_.trace_sample_rate;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const uint64_t h = Mix64(options_.trace_seed ^ ordinal);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+}
+
+obs::TraceContext EstimationService::SampleTrace() const {
+  // A caller already inside a sampled trace (the trace CLI, an outer
+  // request span) keeps tracing through the service regardless of the
+  // service's own rate; the request attaches under the caller's span.
+  const obs::TraceContext current = obs::CurrentTraceContext();
+  if (current.sampled()) return current;
+  if (options_.trace_sample_rate <= 0.0) return {};
+  const uint64_t ordinal =
+      trace_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  if (!TraceSelected(ordinal)) return {};
+  return obs::Tracer::Default().ForceTrace();
 }
 
 util::Result<std::shared_ptr<const core::CompiledTwig>>
 EstimationService::Prepare(const query::TwigQuery& twig) const {
+  return PrepareAttributed(twig, nullptr);
+}
+
+util::Result<std::shared_ptr<const core::CompiledTwig>>
+EstimationService::PrepareAttributed(const query::TwigQuery& twig,
+                                     QueryAttribution* attr) const {
+  const Clock::time_point prep_start =
+      attr != nullptr ? Clock::now() : Clock::time_point{};
   if (util::Status st = twig.Validate(); !st.ok()) return st;
-  const std::string key = EncodeTwigKey(twig);
+  std::string key = CanonicalTwigKey(twig);
+  obs::SpanScope cache_span(obs::Stage::kPlanCache);
   metrics_.plan_lookups->Increment();
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
@@ -203,15 +239,36 @@ EstimationService::Prepare(const query::TwigQuery& twig) const {
       ++plan_hits_;
       metrics_.plan_hits->Increment();
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+      cache_span.set_arg(1);  // hit
+      if (attr != nullptr) {
+        attr->key = std::move(key);
+        attr->plan_cache_hit = true;
+        attr->prepare_us = MicrosBetween(prep_start, Clock::now());
+      }
       return it->second->plan;
     }
   }
   // Miss: compile outside the lock (the compiler is const and thread-safe;
   // a racing thread compiling the same shape produces an identical
   // program, and first-insert wins below).
+  const Clock::time_point compile_start =
+      attr != nullptr ? Clock::now() : Clock::time_point{};
   auto compiled = compiler_->Compile(twig);
-  if (!compiled.ok()) return compiled.status();
+  if (attr != nullptr) {
+    attr->compile_us = MicrosBetween(compile_start, Clock::now());
+  }
+  if (!compiled.ok()) {
+    if (attr != nullptr) {
+      attr->key = std::move(key);
+      attr->prepare_us = MicrosBetween(prep_start, Clock::now());
+    }
+    return compiled.status();
+  }
   std::shared_ptr<const core::CompiledTwig> plan = compiled.value();
+  if (attr != nullptr) {
+    attr->key = key;
+    attr->prepare_us = MicrosBetween(prep_start, Clock::now());
+  }
   if (options_.plan_cache_capacity == 0) return plan;
   std::lock_guard<std::mutex> lock(plan_mu_);
   auto it = plan_index_.find(key);
@@ -219,8 +276,8 @@ EstimationService::Prepare(const query::TwigQuery& twig) const {
     plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
     return it->second->plan;
   }
-  plan_lru_.push_front(PlanEntry{key, plan});
-  plan_index_.emplace(key, plan_lru_.begin());
+  plan_lru_.push_front(PlanEntry{std::move(key), plan});
+  plan_index_.emplace(plan_lru_.front().key, plan_lru_.begin());
   while (plan_lru_.size() >
          static_cast<size_t>(options_.plan_cache_capacity)) {
     plan_index_.erase(plan_lru_.back().key);
@@ -239,10 +296,43 @@ EstimationService::PlanCacheCounters EstimationService::plan_cache_counters()
 }
 
 util::Result<core::EstimateStats> EstimationService::EstimateCompiled(
-    const query::TwigQuery& twig) const {
-  auto plan = Prepare(twig);
+    const query::TwigQuery& twig, QueryAttribution* attr,
+    double* execute_us) const {
+  auto plan = PrepareAttributed(twig, attr);
   if (!plan.ok()) return plan.status();
-  return plan.value()->ExecuteWithStats();
+  obs::SpanScope exec_span(obs::Stage::kExecute);
+  const Clock::time_point exec_start =
+      execute_us != nullptr ? Clock::now() : Clock::time_point{};
+  core::EstimateStats stats = plan.value()->ExecuteWithStats();
+  if (execute_us != nullptr) {
+    *execute_us = MicrosBetween(exec_start, Clock::now());
+  }
+  return stats;
+}
+
+void EstimationService::RecordFlight(
+    const query::TwigQuery& twig, uint64_t trace_id, QueryAttribution&& attr,
+    double execute_us, double total_us,
+    const util::Result<core::EstimateStats>& result) const {
+  obs::FlightRecord rec;
+  rec.trace_id = trace_id;
+  // The interpreter path never encodes a key; do it here so every record
+  // carries its query identity.
+  rec.twig_key = attr.key.empty() ? CanonicalTwigKey(twig)
+                                  : std::move(attr.key);
+  rec.sketch_generation = options_.sketch_generation;
+  rec.ok = result.ok();
+  if (result.ok()) {
+    rec.estimate = result.value().estimate;
+  } else {
+    rec.error = result.status().message();
+  }
+  rec.prepare_us = attr.prepare_us;
+  rec.compile_us = attr.compile_us;
+  rec.execute_us = execute_us;
+  rec.total_us = total_us;
+  rec.plan_cache_hit = attr.plan_cache_hit;
+  obs::FlightRecorder::Default().Record(std::move(rec));
 }
 
 bool EstimationService::AuditSelected(size_t index) const {
@@ -258,10 +348,33 @@ EstimationService::~EstimationService() = default;
 
 util::Result<core::EstimateStats> EstimationService::Estimate(
     const query::TwigQuery& twig) const {
-  if (estimator_.has_value()) return estimator_->EstimateChecked(twig);
-  // Frozen-only service: the compiled path is the only path (and it is
-  // bit-identical to the interpreter by the compile-layer contract).
-  return EstimateCompiled(twig);
+  const bool flight = options_.flight_recorder;
+  const obs::TraceContext ctx = SampleTrace();
+  const Clock::time_point start =
+      flight ? Clock::now() : Clock::time_point{};
+  QueryAttribution attr;
+  double execute_us = 0.0;
+  std::optional<util::Result<core::EstimateStats>> result;
+  {
+    // Inner scope: the kQuery span must close before the flight record is
+    // taken so slow/error promotion sees the complete tree.
+    obs::SpanScope qspan(ctx, obs::Stage::kQuery);
+    if (estimator_.has_value()) {
+      obs::SpanScope interp(obs::Stage::kInterpret);
+      result.emplace(estimator_->EstimateChecked(twig));
+    } else {
+      // Frozen-only service: the compiled path is the only path (and it
+      // is bit-identical to the interpreter by the compile-layer
+      // contract).
+      result.emplace(EstimateCompiled(twig, flight ? &attr : nullptr,
+                                      flight ? &execute_us : nullptr));
+    }
+  }
+  if (flight) {
+    RecordFlight(twig, ctx.trace_id, std::move(attr), execute_us,
+                 MicrosBetween(start, Clock::now()), *result);
+  }
+  return std::move(*result);
 }
 
 std::vector<util::Result<core::EstimateStats>>
@@ -274,6 +387,10 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   const auto plans_before = plan_cache_counters();
 
   const size_t n = queries.size();
+  // One trace decision per batch: a sampled batch records its whole span
+  // tree (envelope, chunks, every query) under one trace id.
+  const obs::TraceContext batch_ctx = SampleTrace();
+  obs::SpanScope batch_span(batch_ctx, obs::Stage::kBatch, n);
   // Result<T> has no default constructor; stage into optionals and move
   // into the final vector once every slot is filled.
   std::vector<std::optional<util::Result<core::EstimateStats>>> staged(n);
@@ -292,22 +409,46 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   size_t pending = 0;
   for (size_t begin = 0; begin < n; begin += chunk) ++pending;
 
+  const obs::TraceContext chunk_ctx = batch_span.context();
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    pool_.Submit([this, queries, begin, end, &staged, &latencies_us,
-                  &audit_errors, &done_mu, &all_done, &pending] {
+    pool_.Submit([this, queries, begin, end, chunk_ctx, &staged,
+                  &latencies_us, &audit_errors, &done_mu, &all_done,
+                  &pending] {
+      // Explicit cross-thread handoff: the chunk span attaches under the
+      // batch envelope (and an unsampled batch suppresses every nested
+      // span on this worker for the chunk's duration).
+      obs::SpanScope chunk_span(chunk_ctx, obs::Stage::kBatchChunk,
+                                end - begin);
+      metrics_.inflight->Add(static_cast<double>(end - begin));
+      const bool flight = options_.flight_recorder;
       for (size_t i = begin; i < end; ++i) {
         const Clock::time_point q_start = Clock::now();
-        if (options_.use_compiled) {
-          staged[i].emplace(EstimateCompiled(queries[i]));
-        } else {
-          staged[i].emplace(estimator_->EstimateChecked(queries[i]));
+        QueryAttribution attr;
+        double execute_us = 0.0;
+        {
+          obs::SpanScope qspan(obs::Stage::kQuery, i);
+          if (options_.use_compiled) {
+            staged[i].emplace(
+                EstimateCompiled(queries[i], flight ? &attr : nullptr,
+                                 flight ? &execute_us : nullptr));
+          } else {
+            obs::SpanScope interp(obs::Stage::kInterpret);
+            staged[i].emplace(estimator_->EstimateChecked(queries[i]));
+          }
         }
         latencies_us[i] = MicrosBetween(q_start, Clock::now());
-        metrics_.latency_us->Observe(latencies_us[i]);
+        // Exemplar: the batch's trace id rides along so the latency
+        // histogram can point at the worst window's trace.
+        metrics_.latency_us->Observe(latencies_us[i], chunk_ctx.trace_id);
+        if (flight) {
+          RecordFlight(queries[i], chunk_ctx.trace_id, std::move(attr),
+                       execute_us, latencies_us[i], *staged[i]);
+        }
         if (staged[i]->ok() && AuditSelected(i)) {
           // Ground truth on the sampled query: the paper's relative-error
           // metric |r - c| / max(s, c) (§6.1).
+          obs::SpanScope audit_span(obs::Stage::kAudit, i);
           const double r = staged[i]->value().estimate;
           const double c =
               static_cast<double>(exact_->Selectivity(queries[i]));
@@ -317,6 +458,7 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
           metrics_.audit_rel_error->Observe(audit_errors[i]);
         }
       }
+      metrics_.inflight->Sub(static_cast<double>(end - begin));
       std::lock_guard<std::mutex> lock(done_mu);
       if (--pending == 0) all_done.notify_one();
     });

@@ -32,6 +32,7 @@
 #ifndef XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
 #define XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -47,12 +48,20 @@
 #include "core/frozen.h"
 #include "core/twig_xsketch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/twig.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace xsketch::service {
+
+// Canonical byte encoding of a twig: a node-count prefix, then one
+// length-prefixed record per node in arena order. Node order, parent
+// links, and child creation order fully determine the evaluation, so
+// equal keys imply interchangeable compiled plans. This is the plan-cache
+// key and the flight recorder's query identity (FlightRecord::twig_key).
+std::string CanonicalTwigKey(const query::TwigQuery& twig);
 
 struct ServiceOptions {
   // Worker threads estimating in parallel. 0 picks the hardware
@@ -86,6 +95,24 @@ struct ServiceOptions {
   // |r - c| / max(s, c); must be > 0 (guards division by zero for
   // empty-result queries).
   double audit_sanity_bound = 1.0;
+
+  // Structural tracing (obs/trace.h): fraction of requests — batches and
+  // single-query estimates — whose full span tree is recorded, in [0, 1].
+  // 0 (the default) keeps the serving path on the tracer's no-op fast
+  // path. Sampling is deterministic in (trace_seed, request ordinal), the
+  // same discipline as the audit mask, so a replayed workload traces the
+  // same requests. Tracing never touches the estimate computation:
+  // results stay bit-identical at any rate (pinned by the differential
+  // harness's bit-identity-traced invariant).
+  double trace_sample_rate = 0.0;
+  uint64_t trace_seed = 0;
+  // Always-on flight recorder (obs/flight.h): every completed query
+  // appends a FlightRecord to FlightRecorder::Default(). Disable only to
+  // shave the last bookkeeping from benchmark baselines.
+  bool flight_recorder = true;
+  // Sketch generation stamped into flight records — pass the serving
+  // SketchHandle's generation() when catalog-backed; 0 otherwise.
+  uint64_t sketch_generation = 0;
 
   util::Status Validate() const;
 };
@@ -208,9 +235,42 @@ class EstimationService {
   // (deterministic in (audit_seed, index)).
   bool AuditSelected(size_t index) const;
 
-  // One batch query on the prepared path: Prepare + ExecutePrepared.
+  // True iff request `ordinal` falls in the trace sample (deterministic
+  // in (trace_seed, ordinal); always false at rate 0, cost: one compare).
+  bool TraceSelected(uint64_t ordinal) const;
+  // Draws the next request ordinal and returns its sampled trace context
+  // ({0,0} when not selected). Rate 0 skips the ordinal counter entirely.
+  // A caller already inside a sampled trace is adopted unconditionally:
+  // the request's spans attach under the caller's span.
+  obs::TraceContext SampleTrace() const;
+
+  // Per-query stage attribution collected by the prepared path for the
+  // flight recorder: the canonical key (encoded once, reused as the
+  // record identity) plus where the prepare time went.
+  struct QueryAttribution {
+    std::string key;
+    double prepare_us = 0.0;  // plan-cache lookup + compile
+    double compile_us = 0.0;  // lowering only (cache misses)
+    bool plan_cache_hit = false;
+  };
+
+  // Prepare with optional attribution (attr may be null: the public
+  // Prepare() path, which skips the extra clock reads).
+  util::Result<std::shared_ptr<const core::CompiledTwig>> PrepareAttributed(
+      const query::TwigQuery& twig, QueryAttribution* attr) const;
+
+  // One batch query on the prepared path: Prepare + ExecutePrepared, with
+  // optional attribution and kPlanCache/kExecute spans when traced.
   util::Result<core::EstimateStats> EstimateCompiled(
-      const query::TwigQuery& twig) const;
+      const query::TwigQuery& twig, QueryAttribution* attr = nullptr,
+      double* execute_us = nullptr) const;
+
+  // Appends one completed query to FlightRecorder::Default() (no-op when
+  // ServiceOptions::flight_recorder is off).
+  void RecordFlight(const query::TwigQuery& twig, uint64_t trace_id,
+                    QueryAttribution&& attr, double execute_us,
+                    double total_us,
+                    const util::Result<core::EstimateStats>& result) const;
 
   // Process-wide registry handles (see obs/metrics.h). Shared across all
   // services in the process; BatchStats carries the per-batch values.
@@ -224,6 +284,9 @@ class EstimationService {
     obs::Counter* plan_lookups;
     obs::Counter* plan_hits;
     obs::Counter* plan_evictions;
+    // Queries currently executing across all workers (chunk-granular;
+    // Gauge::Add/Sub keep concurrent updates lossless).
+    obs::Gauge* inflight;
   };
 
   // LRU plan cache: most-recently-used at the front of the list; the map
@@ -259,6 +322,9 @@ class EstimationService {
   std::unique_ptr<query::ExactEvaluator> exact_;
   util::ThreadPool pool_;
   Metrics metrics_;
+  // Request ordinal for the deterministic trace sampling mask; only
+  // touched when trace_sample_rate > 0.
+  mutable std::atomic<uint64_t> trace_ordinal_{0};
 };
 
 }  // namespace xsketch::service

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "query/xpath_parser.h"
 #include "util/check.h"
 
@@ -62,10 +63,24 @@ util::Result<SketchHandle> SketchCatalog::Put(const std::string& doc_id,
   if (doc_id.empty()) {
     return util::Status::InvalidArgument("doc_id must not be empty");
   }
+  // Attach under the caller's trace when there is one (the trace CLI, a
+  // traced service turn); otherwise this load is its own trace root,
+  // subject to the process-wide sampling knob.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.sampled()) ctx = obs::Tracer::Default().StartTrace();
+  obs::SpanScope load_span(ctx, obs::Stage::kCatalogLoad);
   // Load and compile outside the lock: a slow mmap + validation of one
   // document must not stall lookups of the others. On failure the catalog
   // is untouched.
-  auto frozen = core::LoadFrozenFile(path, options_.load);
+  util::Result<std::shared_ptr<const core::FrozenSynopsis>> frozen =
+      [&] {
+        obs::SpanScope mmap_span(obs::Stage::kCatalogMmap);
+        auto loaded = core::LoadFrozenFile(path, options_.load);
+        if (loaded.ok()) {
+          mmap_span.set_arg(loaded.value()->SizeBytes());
+        }
+        return loaded;
+      }();
   if (!frozen.ok()) {
     metrics_.load_failures->Increment();
     {
@@ -82,17 +97,24 @@ util::Result<SketchHandle> SketchCatalog::Put(const std::string& doc_id,
   handle.compiler_ = std::make_shared<const core::TwigCompiler>(
       handle.frozen_, options_.estimator);
 
+  obs::SpanScope swap_span(obs::Stage::kCatalogSwap);
   std::lock_guard<std::mutex> lock(mu_);
   handle.generation_ = next_generation_++;
+  swap_span.set_arg(handle.generation_);
   ++counters_.loads;
   metrics_.loads->Increment();
   auto it = index_.find(doc_id);
   if (it != index_.end()) {
     // Atomic hot swap: the old generation leaves the catalog here, but
-    // any outstanding handle still pins its mapping.
+    // any outstanding handle still pins its mapping. Gauge deltas (not
+    // Set) so concurrent catalogs sharing the process gauges never lose
+    // each other's updates.
     resident_bytes_ -= it->second->size_bytes_;
+    metrics_.resident_bytes->Sub(
+        static_cast<double>(it->second->size_bytes_));
     *it->second = handle;
     resident_bytes_ += handle.size_bytes_;
+    metrics_.resident_bytes->Add(static_cast<double>(handle.size_bytes_));
     lru_.splice(lru_.begin(), lru_, it->second);
     ++counters_.swaps;
     metrics_.swaps->Increment();
@@ -100,10 +122,10 @@ util::Result<SketchHandle> SketchCatalog::Put(const std::string& doc_id,
     lru_.push_front(handle);
     index_.emplace(doc_id, lru_.begin());
     resident_bytes_ += handle.size_bytes_;
+    metrics_.resident_bytes->Add(static_cast<double>(handle.size_bytes_));
+    metrics_.sketches->Add(1.0);
   }
   EnforceBudgetLocked(doc_id);
-  metrics_.sketches->Set(static_cast<double>(lru_.size()));
-  metrics_.resident_bytes->Set(static_cast<double>(resident_bytes_));
   return handle;
 }
 
@@ -127,10 +149,10 @@ bool SketchCatalog::Remove(const std::string& doc_id) {
   auto it = index_.find(doc_id);
   if (it == index_.end()) return false;
   resident_bytes_ -= it->second->size_bytes_;
+  metrics_.resident_bytes->Sub(static_cast<double>(it->second->size_bytes_));
+  metrics_.sketches->Sub(1.0);
   lru_.erase(it->second);
   index_.erase(it);
-  metrics_.sketches->Set(static_cast<double>(lru_.size()));
-  metrics_.resident_bytes->Set(static_cast<double>(resident_bytes_));
   return true;
 }
 
@@ -145,6 +167,8 @@ void SketchCatalog::EnforceBudgetLocked(const std::string& keep) {
       victim = std::prev(victim);
     }
     resident_bytes_ -= victim->size_bytes_;
+    metrics_.resident_bytes->Sub(static_cast<double>(victim->size_bytes_));
+    metrics_.sketches->Sub(1.0);
     index_.erase(victim->doc_id_);
     lru_.erase(victim);
     ++counters_.evictions;

@@ -9,6 +9,7 @@
 #include "core/frozen_io.h"
 #include "core/serialize.h"
 #include "obs/explain.h"
+#include "obs/flight.h"
 #include "query/evaluator.h"
 #include "service/estimation_service.h"
 #include "testing/seed.h"
@@ -101,6 +102,14 @@ class Checker {
           << " ./build/tests/differential_test"
           << " --gtest_filter='*SinglePairRepro*'";
     f.repro = repro.str();
+    // Attach the flight record when one exists for this twig: every
+    // query also runs through the traced service (recorder on), so
+    // failures usually carry per-stage latency and the served estimate.
+    obs::FlightRecord rec;
+    if (obs::FlightRecorder::Default().FindByKey(
+            service::CanonicalTwigKey(twig), &rec)) {
+      f.flight = rec.ToJson();
+    }
     report_->failures.push_back(std::move(f));
     return false;
   }
@@ -173,6 +182,19 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
       service::EstimationService::Create(core::TwigXSketch(sketch), sopts);
   XS_CHECK(service.ok());
   const auto batch = service.value()->EstimateBatch(queries);
+
+  // Traced path: the same batch through a service with span tracing
+  // sampled at 1.0 and the flight recorder on. Observability must never
+  // perturb a single bit of the arithmetic. This is also the
+  // flight-recorder smoke: every generated query lands a record, and
+  // Checker attaches the matching record to any failure's repro.
+  service::ServiceOptions topts = sopts;
+  topts.trace_sample_rate = 1.0;
+  topts.flight_recorder = true;
+  auto traced =
+      service::EstimationService::Create(core::TwigXSketch(sketch), topts);
+  XS_CHECK(traced.ok());
+  const auto traced_batch = traced.value()->EstimateBatch(queries);
 
   for (size_t i = 0; i < queries.size(); ++i) {
     if (only_query >= 0 && static_cast<int>(i) != only_query) continue;
@@ -288,6 +310,19 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
                       " != Estimate " + FormatDouble(estimate));
     }
 
+    if (check.Check(traced_batch[i].ok(),
+                    std::string(sketch_name) + "/traced-accepts", qi, q, tags,
+                    "traced EstimateBatch rejected a valid query: " +
+                        traced_batch[i].status().ToString())) {
+      check.Check(
+          traced_batch[i].value().estimate == estimate,
+          std::string(sketch_name) + "/bit-identity-traced", qi, q, tags,
+          "traced-service estimate " +
+              FormatDouble(traced_batch[i].value().estimate) +
+              " != Estimate " + FormatDouble(estimate) +
+              " (tracing must not perturb arithmetic)");
+    }
+
     check.Check(restored_estimator.Estimate(q) == estimate,
                 std::string(sketch_name) + "/bit-identity-round-trip", qi, q,
                 tags,
@@ -367,6 +402,7 @@ std::string DifferentialFailure::Describe() const {
   os << "[" << invariant << "] shape=" << shape << " doc_seed=" << doc_seed
      << " query#" << query_index << "\n  query: " << query
      << "\n  " << detail << "\n  repro: " << repro;
+  if (!flight.empty()) os << "\n  flight: " << flight;
   return os.str();
 }
 

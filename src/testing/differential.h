@@ -13,9 +13,17 @@
 //                 and exact count to 0 (the pinned empty-range semantics)
 //   bit-identity  Estimate == EstimateWithStats == EstimateWithTrace ==
 //                 the EstimationService batch path, bit for bit
+//   traced        a second EstimationService with span tracing sampled at
+//                 1.0 and the flight recorder on returns bit-identical
+//                 estimates — observability must never perturb arithmetic
 //   round-trip    SaveSketch -> LoadSketch -> re-estimate is bit-identical
 //   exactness     on perfectly-stable documents (DocShape::kStable),
 //                 structural estimates equal the exact evaluator's counts
+//
+// The traced service doubles as a flight-recorder smoke test: every
+// generated query runs with the recorder on, and any failure's repro
+// message includes the matching flight record (per-stage latency, twig
+// key, estimate) when one is found.
 //
 // Failures carry the exact seed and a minimized repro command (a
 // single-pair rerun driven by environment variables), so any red run is
@@ -72,6 +80,7 @@ struct DifferentialFailure {
   std::string query;   // for-clause rendering of the twig
   std::string detail;  // expected vs got
   std::string repro;   // exact environment + command reproducing the pair
+  std::string flight;  // flight-recorder JSON for the query, if recorded
 
   // Multi-line human-readable rendering (what test failures print).
   std::string Describe() const;

@@ -22,8 +22,11 @@
 //               TwigCompiler + CompiledTwig (the compiled hot path),
 //               Save/LoadSketch (little-endian XSK2 format)
 //   service::   EstimationService — the concurrent batch engine the
-//               Tier-1 Session wraps
-//   obs::       MetricsRegistry, ExplainTrace
+//               Tier-1 Session wraps — plus SketchCatalog and
+//               CanonicalTwigKey (the plan-cache / flight-record key)
+//   obs::       MetricsRegistry, ExplainTrace, Tracer + SpanScope
+//               (structural tracing), FlightRecorder (last-N query
+//               post-mortems)
 //   util::      Status / Result, ThreadPool
 // These are the extension points; api:: is sugar over them, and handles
 // from the two tiers interoperate (Session exposes its service/estimator).
@@ -63,7 +66,9 @@
 #include "data/swissprot.h"
 #include "data/xmark.h"
 #include "obs/explain.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "query/twig.h"
 #include "query/workload.h"

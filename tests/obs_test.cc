@@ -121,6 +121,69 @@ TEST(MetricsTest, PrometheusExposition) {
   EXPECT_NE(text.find("lat_count 2"), std::string::npos);
 }
 
+TEST(MetricsTest, PrometheusExpositionGoldenLayout) {
+  // Byte-exact golden for the exposition layout: families are
+  // name-ordered, HELP precedes TYPE, histogram buckets are cumulative
+  // with a trailing +Inf, and exemplars never leak into the text format
+  // (they are JSON-only). Scrape configs parse this text — any diff here
+  // is a dashboard-visible format change and must be deliberate.
+  obs::MetricsRegistry reg;
+  reg.GetCounter("requests_total", "requests served").Increment(3);
+  reg.GetGauge("size_bytes").Set(17.0);
+  obs::Histogram& h = reg.GetHistogram("lat", {1.0, 2.0}, "latency micros");
+  h.Observe(0.5);
+  h.Observe(1.5, /*trace_id=*/99);  // exemplar recorded, text unchanged
+  const char* golden =
+      "# HELP lat latency micros\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"2\"} 2\n"
+      "lat_bucket{le=\"+Inf\"} 2\n"
+      "lat_sum 2\n"
+      "lat_count 2\n"
+      "# HELP requests_total requests served\n"
+      "# TYPE requests_total counter\n"
+      "requests_total 3\n"
+      "# TYPE size_bytes gauge\n"
+      "size_bytes 17\n";
+  EXPECT_EQ(reg.ToPrometheusText(), golden);
+}
+
+TEST(MetricsTest, GaugeAddSub) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.GetGauge("g");
+  g.Add(10.0);
+  g.Add(2.5);
+  g.Sub(4.0);
+  EXPECT_EQ(g.value(), 8.5);
+  g.Set(100.0);
+  g.Sub(100.0);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsConcurrencyTest, GaugeAddSubFromManyThreads) {
+  // The CAS-loop Add/Sub must lose no update under contention: N threads
+  // each add and subtract balanced amounts plus one net +1, so the final
+  // value is exactly the thread count.
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.GetGauge("inflight");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kIters; ++i) {
+        g.Add(3.0);
+        g.Sub(2.0);
+        g.Sub(1.0);
+      }
+      g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), static_cast<double>(kThreads));
+}
+
 TEST(MetricsTest, ResetZeroesEverything) {
   obs::MetricsRegistry reg;
   reg.GetCounter("c").Increment(5);

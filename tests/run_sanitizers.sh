@@ -12,13 +12,15 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 # builder_test covers the parallel XBUILD candidate-scoring path;
 # obs_test drives concurrent writers through the shared MetricsRegistry;
+# trace_test exercises multi-thread span recording, the flight recorder's
+# concurrent record/dump paths, and the CAS-loop gauge updates;
 # compile_test hammers concurrent Prepare/Execute through the LRU plan
 # cache and the compiler's shared expansion cache;
 # differential_test drives the whole pipeline through 8-thread batch
 # estimation (its runner sets batch_threads = 8), with the sweep size
 # reduced below so sanitizer overhead stays in budget.
-TARGETS=(service_test estimator_test builder_test obs_test compile_test
-         differential_test)
+TARGETS=(service_test estimator_test builder_test obs_test trace_test
+         compile_test differential_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do
