@@ -5,7 +5,7 @@
 #         -P bench_smoke.cmake
 
 foreach(bin IN ITEMS "${PERF_BATCH}" "${PERF_BUILD}" "${PERF_COLDLOAD}"
-                     "${PERF_SYNTHETIC}")
+                     "${PERF_DAEMON}" "${PERF_SYNTHETIC}")
   if(NOT EXISTS "${bin}")
     message(FATAL_ERROR "bench_smoke: missing binary '${bin}'")
   endif()

@@ -37,6 +37,7 @@
 #include <cerrno>
 #include <climits>
 #include <cstdio>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -156,6 +157,9 @@ util::Result<query::TwigQuery> ParseQuery(const std::string& text,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Piped into `head` (or a dying pager), writes must fail with EPIPE,
+  // not kill the process mid-output.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
 
@@ -196,7 +200,7 @@ int main(int argc, char** argv) {
       if (arg == "--budget-mb") {
         double mb = 0.0;
         if (++i >= argc || !ParseDoubleArg(argv[i], "budget (MB)", &mb)) {
-          return 1;
+          return 2;  // argument error, like every other usage problem
         }
         copts.byte_budget = static_cast<uint64_t>(mb * 1024 * 1024);
       } else if (arg == "--query") {
@@ -248,8 +252,9 @@ int main(int argc, char** argv) {
         if (!handle.ok()) continue;  // evicted under the budget
         auto plan = handle.value().Prepare(query_text);
         if (!plan.ok()) {
-          std::printf("%-20s %s\n", doc_id.c_str(),
-                      plan.status().ToString().c_str());
+          std::fprintf(stderr, "%-20s %s\n", doc_id.c_str(),
+                       plan.status().ToString().c_str());
+          rc = 1;
           continue;
         }
         std::printf("%-20s %-40s %14.1f\n", doc_id.c_str(),
@@ -335,13 +340,15 @@ int main(int argc, char** argv) {
     }
 
     const std::vector<obs::Span> spans = tracer.SpansForTrace(ctx.trace_id);
+    int rc = 0;
     for (size_t i = 0; i < results.size(); ++i) {
       if (results[i].ok()) {
         std::printf("%-50s %14.1f\n", query_args[i],
                     results[i].value().estimate);
       } else {
-        std::printf("%-50s %s\n", query_args[i],
-                    results[i].status().ToString().c_str());
+        std::fprintf(stderr, "%-50s %s\n", query_args[i],
+                     results[i].status().ToString().c_str());
+        rc = 1;
       }
     }
 
@@ -350,7 +357,6 @@ int main(int argc, char** argv) {
     // itself and each child interval must nest inside the parent's.
     double stage_us[obs::kStageCount] = {};
     std::vector<double> child_sum_ns(spans.size(), 0.0);
-    int rc = 0;
     for (const obs::Span& s : spans) {
       stage_us[static_cast<int>(s.stage)] +=
           static_cast<double>(s.dur_ns) / 1000.0;
@@ -480,12 +486,12 @@ int main(int argc, char** argv) {
     opts.num_threads = 0;  // CLI default: use the whole machine
     if (argc > 4) {
       double budget_kb = 0.0;
-      if (!ParseDoubleArg(argv[4], "budget-kb", &budget_kb)) return 1;
+      if (!ParseDoubleArg(argv[4], "budget-kb", &budget_kb)) return 2;
       opts.budget_bytes = static_cast<size_t>(budget_kb * 1024);
     }
     if (argc > 5 &&
         !ParseIntArg(argv[5], "thread count", 0, &opts.num_threads)) {
-      return 1;
+      return 2;
     }
     core::BuildStats bstats;
     core::TwigXSketch sketch =
@@ -532,20 +538,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
       return 1;
     }
+    int rc = 0;
     for (int i = 4; i < argc; ++i) {
       auto twig = ParseQuery(argv[i], doc);
       if (!twig.ok()) {
         std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
+        rc = 1;
         continue;
       }
       auto stats = session.value().Execute(twig.value());
       if (!stats.ok()) {
         std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+        rc = 1;
         continue;
       }
       std::printf("%-50s %14.1f\n", argv[i], stats.value().estimate);
     }
-    return 0;
+    return rc;
   }
 
   if (cmd == "explain") {
@@ -628,6 +637,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> texts;
     std::vector<query::TwigQuery> queries;
     std::string line;
+    int rc = 0;
     while (std::getline(in, line)) {
       const size_t start = line.find_first_not_of(" \t\r");
       if (start == std::string::npos || line[start] == '#') continue;
@@ -635,6 +645,7 @@ int main(int argc, char** argv) {
       if (!twig.ok()) {
         std::fprintf(stderr, "skipping '%s': %s\n", line.c_str(),
                      twig.status().ToString().c_str());
+        rc = 1;
         continue;
       }
       texts.push_back(line);
@@ -654,11 +665,11 @@ int main(int argc, char** argv) {
             opts.audit_fraction > 1.0) {
           std::fprintf(stderr,
                        "--audit needs a fraction in (0, 1]\n");
-          return 1;
+          return 2;
         }
       } else if (!ParseIntArg(argv[i], "thread count", 0,
                               &opts.num_threads)) {
-        return 1;
+        return 2;
       }
     }
     auto svc = api::Session::Open(std::move(sketch).value(), opts);
@@ -673,8 +684,9 @@ int main(int argc, char** argv) {
         std::printf("%-50s %14.1f\n", texts[i].c_str(),
                     results[i].value().estimate);
       } else {
-        std::printf("%-50s %s\n", texts[i].c_str(),
-                    results[i].status().ToString().c_str());
+        std::fprintf(stderr, "%-50s %s\n", texts[i].c_str(),
+                     results[i].status().ToString().c_str());
+        rc = 1;
       }
     }
     std::printf(
@@ -710,22 +722,24 @@ int main(int argc, char** argv) {
       std::printf("%s",
                   obs::MetricsRegistry::Default().ToPrometheusText().c_str());
     }
-    return 0;
+    return rc;
   }
 
   if (cmd == "exact") {
     query::ExactEvaluator eval(doc);
+    int rc = 0;
     for (int i = 3; i < argc; ++i) {
       auto twig = ParseQuery(argv[i], doc);
       if (!twig.ok()) {
         std::fprintf(stderr, "%s\n", twig.status().ToString().c_str());
+        rc = 1;
         continue;
       }
       std::printf("%-50s %14lu\n", argv[i],
                   static_cast<unsigned long>(
                       eval.Selectivity(twig.value())));
     }
-    return 0;
+    return rc;
   }
 
   return Usage();

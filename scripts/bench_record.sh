@@ -29,7 +29,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-for bin in perf_batch perf_build perf_coldload perf_synthetic; do
+for bin in perf_batch perf_build perf_coldload perf_daemon perf_synthetic; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "missing $BUILD/bench/$bin — build first (cmake --build $BUILD)" >&2
     exit 1
@@ -44,6 +44,7 @@ export XS_BENCH_BATCH_REPEATS="${XS_BENCH_BATCH_REPEATS:-3}"
 export XS_BENCH_BUDGET="${XS_BENCH_BUDGET:-16}"
 export XS_BENCH_SYN_ELEMS="${XS_BENCH_SYN_ELEMS:-1000}"
 export XS_BENCH_SYN_QUERIES="${XS_BENCH_SYN_QUERIES:-100}"
+export XS_BENCH_DAEMON_REQUESTS="${XS_BENCH_DAEMON_REQUESTS:-40}"
 
 if [ -z "$OUT_INDEX" ]; then
   OUT_INDEX=0
@@ -62,6 +63,8 @@ echo "recording perf_build ..." >&2
 "$BUILD/bench/perf_build" > "$TMP/perf_build.txt"
 echo "recording perf_coldload ..." >&2
 "$BUILD/bench/perf_coldload" > "$TMP/perf_coldload.txt"
+echo "recording perf_daemon ..." >&2
+"$BUILD/bench/perf_daemon" > "$TMP/perf_daemon.txt"
 echo "recording perf_synthetic ..." >&2
 "$BUILD/bench/perf_synthetic" > "$TMP/perf_synthetic.txt"
 
@@ -114,6 +117,20 @@ coldload_rows() {
   ' "$1"
 }
 
+# perf_daemon rows:
+#   daemon unloaded   p50    0.021 ms   p99    0.196 ms
+#   daemon 2x-sat     p50    0.378 ms   p99    1.394 ms   shed  14.2%  ...
+daemon_rows() {
+  awk '
+    /^daemon unloaded/ {
+      printf "%s\n      {\"row\": \"unloaded\", \"p50_ms\": %s, \"p99_ms\": %s}", sep, $4, $7; sep=","
+    }
+    /^daemon 2x-sat/ {
+      printf "%s\n      {\"row\": \"2x_saturation\", \"p50_ms\": %s, \"p99_ms\": %s, \"shed_pct\": %s}", sep, $4, $7, substr($10, 1, length($10)-1); sep=","
+    }
+  ' "$1"
+}
+
 # perf_synthetic rows:
 #   uniform      1.234     0.567     98765
 synth_rows() {
@@ -138,7 +155,8 @@ GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
   echo "    \"XS_BENCH_BATCH_REPEATS\": \"${XS_BENCH_BATCH_REPEATS}\","
   echo "    \"XS_BENCH_BUDGET\": \"${XS_BENCH_BUDGET}\","
   echo "    \"XS_BENCH_SYN_ELEMS\": \"${XS_BENCH_SYN_ELEMS}\","
-  echo "    \"XS_BENCH_SYN_QUERIES\": \"${XS_BENCH_SYN_QUERIES}\""
+  echo "    \"XS_BENCH_SYN_QUERIES\": \"${XS_BENCH_SYN_QUERIES}\","
+  echo "    \"XS_BENCH_DAEMON_REQUESTS\": \"${XS_BENCH_DAEMON_REQUESTS}\""
   echo "  },"
   echo "  \"perf_batch\": {"
   echo "    \"raw\": $(raw_json "$TMP/perf_batch.txt"),"
@@ -153,6 +171,11 @@ GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
   echo "  \"perf_coldload\": {"
   echo "    \"raw\": $(raw_json "$TMP/perf_coldload.txt"),"
   echo "    \"rows\": [$(coldload_rows "$TMP/perf_coldload.txt")"
+  echo "    ]"
+  echo "  },"
+  echo "  \"perf_daemon\": {"
+  echo "    \"raw\": $(raw_json "$TMP/perf_daemon.txt"),"
+  echo "    \"rows\": [$(daemon_rows "$TMP/perf_daemon.txt")"
   echo "    ]"
   echo "  },"
   echo "  \"perf_synthetic\": {"

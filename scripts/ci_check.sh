@@ -36,8 +36,52 @@ cmake --build "$BUILD" -j"$(nproc)"
 
 for tier in unit differential bench_smoke; do
   echo "=== ctest tier: $tier ==="
-  (cd "$BUILD" && ctest -L "$tier" --output-on-failure -j"$(nproc)")
+  # --timeout is a belt-and-braces global cap on top of the per-test
+  # TIMEOUT property: a wedged event loop fails CI instead of hanging it.
+  (cd "$BUILD" && ctest -L "$tier" --output-on-failure --timeout 300 \
+                        -j"$(nproc)")
 done
+
+echo "=== daemon smoke: serve, estimate, drain on SIGTERM ==="
+[ -x "$BUILD/src/xsketch_daemon" ] ||
+  { echo "ci_check: missing $BUILD/src/xsketch_daemon" >&2; exit 1; }
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+printf '<bib><book><author>a</author><title>t</title></book>%s</bib>' \
+    '<book><author>b</author></book><article><title>x</title></article>' \
+    > "$SMOKE_DIR/bib.xml"
+"$BUILD/examples/xsketch_cli" build "$SMOKE_DIR/bib.xml" \
+    "$SMOKE_DIR/bib.xsk2" 8 > /dev/null
+"$BUILD/examples/xsketch_cli" convert "$SMOKE_DIR/bib.xml" \
+    "$SMOKE_DIR/bib.xsk2" "$SMOKE_DIR/bib.xsk3" > /dev/null
+# Ephemeral port: the daemon prints "listening on <port>" once ready.
+"$BUILD/src/xsketch_daemon" --sketch bib="$SMOKE_DIR/bib.xsk3" --port 0 \
+    > "$SMOKE_DIR/daemon.out" 2> "$SMOKE_DIR/daemon.err" &
+DAEMON_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$SMOKE_DIR/daemon.out")"
+  [ -n "$PORT" ] && break
+  kill -0 "$DAEMON_PID" 2> /dev/null ||
+    { echo "ci_check: daemon died at startup" >&2;
+      cat "$SMOKE_DIR/daemon.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "ci_check: daemon never reported a port" >&2; exit 1; }
+curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -q '"status":"ok"' ||
+  { echo "ci_check: healthz failed" >&2; exit 1; }
+curl -fsS -X POST "http://127.0.0.1:$PORT/estimate" \
+     -d '{"doc":"bib","query":"//book"}' | grep -q '"estimate":' ||
+  { echo "ci_check: estimate failed" >&2; exit 1; }
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[ "$DAEMON_STATUS" = 0 ] ||
+  { echo "ci_check: daemon exited $DAEMON_STATUS after SIGTERM" >&2
+    cat "$SMOKE_DIR/daemon.err" >&2; exit 1; }
+grep -q '^drained:' "$SMOKE_DIR/daemon.err" ||
+  { echo "ci_check: daemon did not report a clean drain" >&2; exit 1; }
+echo "daemon smoke: clean drain ($(grep '^drained:' "$SMOKE_DIR/daemon.err"))"
 
 echo "=== bench gates: bench_trace (tracing overhead) + bench_delta ==="
 [ -x "$BUILD/bench/perf_batch" ] ||

@@ -1,10 +1,9 @@
 #include "core/serialize.h"
 
 #include <cstring>
-#include <fstream>
-#include <iterator>
 
 #include "obs/metrics.h"
+#include "util/posix_io.h"
 
 namespace xsketch::core {
 
@@ -247,31 +246,20 @@ util::Result<TwigXSketch> LoadSketchImpl(const std::string& bytes,
 
 util::Status SaveSketchToFile(const TwigXSketch& sketch,
                               const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return util::Status::NotFound("cannot open " + path);
-  const std::string bytes = SaveSketch(sketch);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return util::Status::Internal("short write to " + path);
-  return util::Status::OK();
+  // posix_io retries EINTR and partial writes; an interrupted syscall
+  // must never leave a silently truncated sketch on disk.
+  return util::WriteStringToFile(path, SaveSketch(sketch));
 }
 
 util::Result<TwigXSketch> LoadSketchFromFile(const std::string& path,
                                              const xml::Document& doc) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::NotFound("cannot open " + path);
-  // A stream error mid-read must surface as an I/O failure, never as a
-  // silently truncated buffer handed to the parser. libstdc++'s filebuf
-  // throws from underflow on some read errors (e.g. the path is a
-  // directory); other failures set badbit — catch both.
+  // posix_io reads the whole file with EINTR retry and explicit
+  // short-read detection — an IO failure surfaces as Internal, never as
+  // a truncated buffer handed to the parser (which would mis-report it
+  // as a format error).
   std::string bytes;
-  try {
-    bytes.assign(std::istreambuf_iterator<char>(in),
-                 std::istreambuf_iterator<char>());
-  } catch (const std::exception& e) {
-    return util::Status::Internal("read error on " + path + ": " + e.what());
-  }
-  if (in.bad()) {
-    return util::Status::Internal("read error on " + path);
+  if (util::Status st = util::ReadFileToString(path, &bytes); !st.ok()) {
+    return st;
   }
   return LoadSketch(bytes, doc);
 }

@@ -1,0 +1,82 @@
+// Minimal HTTP/1.1 request parsing and response serialization for the
+// estimation daemon.
+//
+// Scope: what an optimizer-facing estimation endpoint needs and nothing
+// more — request line + headers + Content-Length bodies, keep-alive, and
+// hard input limits (header-section bytes, body bytes) that turn
+// misbehaving clients into 4xx responses instead of memory growth.
+// Transfer-Encoding is rejected (501): bulk clients use the binary
+// framing in net/wire.h instead of chunked uploads.
+//
+// The parser is incremental: feed it the connection's read buffer; it
+// either needs more bytes, yields one complete request (with the byte
+// count consumed, so pipelined bytes stay in the buffer), or reports a
+// protocol error with the HTTP status to answer before closing.
+
+#ifndef XSKETCH_NET_HTTP_H_
+#define XSKETCH_NET_HTTP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xsketch::net {
+
+struct HttpLimits {
+  // Request line + headers must fit in this many bytes.
+  size_t max_header_bytes = 16 << 10;
+  // Content-Length bodies above this are rejected with 413.
+  size_t max_body_bytes = 1 << 20;
+};
+
+struct HttpRequest {
+  std::string method;      // uppercase as sent
+  std::string target;      // raw request-target
+  std::string path;        // target up to '?'
+  std::string query;       // raw query string after '?'
+  // Header names lowercased at parse time; values trimmed of OWS.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;  // HTTP/1.1 default, Connection header applied
+
+  // First header with this (lowercase) name, or nullptr.
+  const std::string* Header(std::string_view name) const;
+  // Percent-decoded value of a query-string parameter, or nullopt.
+  std::optional<std::string> QueryParam(std::string_view key) const;
+};
+
+enum class HttpParseOutcome {
+  kNeedMore,  // incomplete request: keep reading
+  kRequest,   // one complete request parsed; `consumed` bytes used
+  kError,     // protocol violation: answer `error_status`, then close
+};
+
+struct HttpParseResult {
+  HttpParseOutcome outcome = HttpParseOutcome::kNeedMore;
+  size_t consumed = 0;
+  HttpRequest request;     // engaged for kRequest
+  int error_status = 400;  // engaged for kError
+  std::string error;
+};
+
+// Attempts to parse one request from the front of `buf`.
+HttpParseResult ParseHttpRequest(std::string_view buf,
+                                 const HttpLimits& limits);
+
+// Serializes a response with Content-Length and Connection headers.
+// `extra_headers` are emitted verbatim (e.g. {"Retry-After", "1"}).
+std::string SerializeHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
+
+// Reason phrase for the handful of statuses the daemon emits.
+const char* HttpStatusText(int status);
+
+}  // namespace xsketch::net
+
+#endif  // XSKETCH_NET_HTTP_H_

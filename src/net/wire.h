@@ -1,0 +1,131 @@
+// XSKB: compact length-prefixed binary framing for bulk estimation
+// clients.
+//
+// An optimizer replaying millions of estimates should not pay HTTP/JSON
+// per call. A binary connection opens with the 4-byte preface "XSKB"
+// (which is also how the server tells the two protocols apart on one
+// port — no HTTP method starts with those bytes), then carries frames:
+//
+//   [u8 type][u32 payload_len (LE)][payload bytes]
+//
+// Request payloads (all integers little-endian):
+//   kEstimate: u32 deadline_ms (0 = none), u16 doc_len + doc id bytes,
+//              u16 query_len + query text (XPath, parsed server-side)
+//   kBatch:    u32 deadline_ms, u16 doc_len + doc id,
+//              u32 count, count x (u16 len + query text)
+//   kPing:     empty (liveness / drain probing)
+// Response payloads:
+//   kEstimateOk: f64 estimate
+//   kBatchOk:    u8 deadline_exceeded, u32 abandoned, u32 count,
+//                count x (u8 ok, then f64 estimate | u8 nack code +
+//                u16 msg_len + msg)
+//   kPong:       empty
+//   kNack:       u8 code, u16 msg_len + msg — the explicit overload /
+//                deadline / bad-request signal (never a silent close)
+//
+// Frames above the server's size limit NACK and close. The codec is
+// shared by the daemon, the torture test, and bench/perf_daemon.
+
+#ifndef XSKETCH_NET_WIRE_H_
+#define XSKETCH_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xsketch::net {
+
+inline constexpr std::string_view kWirePreface = "XSKB";
+
+enum class FrameType : uint8_t {
+  kEstimate = 0x01,
+  kBatch = 0x02,
+  kPing = 0x03,
+  kEstimateOk = 0x81,
+  kBatchOk = 0x82,
+  kPong = 0x83,
+  kNack = 0xEE,
+};
+
+enum class NackCode : uint8_t {
+  kOverload = 1,       // admission queue full: retry later (the binary 429)
+  kDeadline = 2,       // request deadline passed before completion
+  kBadRequest = 3,     // malformed frame / unparseable query
+  kNotFound = 4,       // unknown document id
+  kInternal = 5,
+  kShuttingDown = 6,   // server draining: no new work accepted
+};
+
+struct WireFrame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+enum class WireParseOutcome { kNeedMore, kFrame, kError };
+
+struct WireParseResult {
+  WireParseOutcome outcome = WireParseOutcome::kNeedMore;
+  size_t consumed = 0;
+  WireFrame frame;     // engaged for kFrame
+  std::string error;   // engaged for kError
+};
+
+// Attempts to decode one frame from the front of `buf` (preface already
+// consumed). Frames whose declared payload exceeds `max_frame_bytes` are
+// errors — the connection must NACK and close, never buffer them.
+WireParseResult ParseWireFrame(std::string_view buf, size_t max_frame_bytes);
+
+// Appends [type][len][payload] to `out`.
+void AppendWireFrame(std::string* out, FrameType type,
+                     std::string_view payload);
+
+struct WireEstimateRequest {
+  uint32_t deadline_ms = 0;
+  std::string doc;
+  std::string query;
+};
+
+struct WireBatchRequest {
+  uint32_t deadline_ms = 0;
+  std::string doc;
+  std::vector<std::string> queries;
+};
+
+struct WireBatchResult {
+  bool ok = false;
+  double estimate = 0.0;    // engaged when ok
+  NackCode code = NackCode::kInternal;  // engaged when !ok
+  std::string error;
+};
+
+struct WireBatchResponse {
+  bool deadline_exceeded = false;
+  uint32_t abandoned = 0;
+  std::vector<WireBatchResult> results;
+};
+
+std::string EncodeEstimateRequest(const WireEstimateRequest& req);
+util::Result<WireEstimateRequest> DecodeEstimateRequest(
+    std::string_view payload);
+
+std::string EncodeBatchRequest(const WireBatchRequest& req);
+util::Result<WireBatchRequest> DecodeBatchRequest(std::string_view payload);
+
+std::string EncodeBatchResponse(const WireBatchResponse& resp);
+util::Result<WireBatchResponse> DecodeBatchResponse(
+    std::string_view payload);
+
+std::string EncodeNack(NackCode code, std::string_view message);
+// Decodes a kNack payload into (code, message).
+util::Result<std::pair<NackCode, std::string>> DecodeNack(
+    std::string_view payload);
+
+std::string EncodeEstimateOk(double estimate);
+util::Result<double> DecodeEstimateOk(std::string_view payload);
+
+}  // namespace xsketch::net
+
+#endif  // XSKETCH_NET_WIRE_H_

@@ -191,6 +191,9 @@ void EstimationService::InitMetrics() {
   metrics_.plan_evictions =
       &reg.GetCounter("xsketch_service_plan_cache_evictions_total",
                       "compiled plans evicted from the LRU cache");
+  metrics_.deadline_abandoned = &reg.GetCounter(
+      "xsketch_service_deadline_abandoned_total",
+      "batch queries abandoned at chunk boundaries past their deadline");
   metrics_.inflight =
       &reg.GetGauge("xsketch_service_inflight_queries",
                     "batch queries currently executing across workers");
@@ -379,7 +382,8 @@ util::Result<core::EstimateStats> EstimationService::Estimate(
 
 std::vector<util::Result<core::EstimateStats>>
 EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
-                                 BatchStats* stats) {
+                                 BatchStats* stats,
+                                 std::optional<Deadline> deadline) {
   const Clock::time_point batch_start = Clock::now();
   const core::DescendantPathCache::Counters cache_before =
       estimator_.has_value() ? estimator_->path_cache_counters()
@@ -412,7 +416,7 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   const obs::TraceContext chunk_ctx = batch_span.context();
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
-    pool_.Submit([this, queries, begin, end, chunk_ctx, &staged,
+    pool_.Submit([this, queries, begin, end, chunk_ctx, deadline, &staged,
                   &latencies_us, &audit_errors, &done_mu, &all_done,
                   &pending] {
       // Explicit cross-thread handoff: the chunk span attaches under the
@@ -420,6 +424,20 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
       // span on this worker for the chunk's duration).
       obs::SpanScope chunk_span(chunk_ctx, obs::Stage::kBatchChunk,
                                 end - begin);
+      // Deadline check at the chunk boundary: a chunk starting past the
+      // request deadline is abandoned wholesale — its queries report
+      // DeadlineExceeded and no estimation work runs. Chunks already in
+      // flight finish (cancellation is chunk-granular by design).
+      if (deadline.has_value() && Clock::now() >= *deadline) {
+        for (size_t i = begin; i < end; ++i) {
+          staged[i].emplace(util::Status::DeadlineExceeded(
+              "batch deadline passed before query chunk started"));
+        }
+        metrics_.deadline_abandoned->Increment(end - begin);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--pending == 0) all_done.notify_one();
+        return;
+      }
       metrics_.inflight->Add(static_cast<double>(end - begin));
       const bool flight = options_.flight_recorder;
       for (size_t i = begin; i < end; ++i) {
@@ -471,6 +489,7 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   std::vector<util::Result<core::EstimateStats>> results;
   results.reserve(n);
   size_t failed = 0;
+  size_t abandoned = 0;
   BatchStats agg;
   for (size_t i = 0; i < n; ++i) {
     XS_CHECK(staged[i].has_value());
@@ -482,6 +501,9 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
       agg.value_fractions += s.value_fractions;
       agg.existential_terms += s.existential_terms;
       agg.descendant_chains += s.descendant_chains;
+    } else if (staged[i]->status().code() ==
+               util::StatusCode::kDeadlineExceeded) {
+      ++abandoned;  // partial-stats contract: not a query failure
     } else {
       ++failed;
     }
@@ -495,9 +517,28 @@ EstimationService::EstimateBatch(std::span<const query::TwigQuery> queries,
   if (stats != nullptr) {
     agg.queries = n;
     agg.failed = failed;
+    agg.abandoned = abandoned;
+    agg.deadline_exceeded = abandoned > 0;
     agg.wall_ms = MicrosBetween(batch_start, Clock::now()) / 1000.0;
-    agg.p50_latency_us = util::Percentile(latencies_us, 0.50);
-    agg.p95_latency_us = util::Percentile(latencies_us, 0.95);
+    if (abandoned == 0) {
+      agg.p50_latency_us = util::Percentile(latencies_us, 0.50);
+      agg.p95_latency_us = util::Percentile(latencies_us, 0.95);
+    } else {
+      // Partial stats: percentile over the queries that actually ran —
+      // abandoned slots never got a latency and would drag the
+      // distribution toward zero.
+      std::vector<double> ran;
+      ran.reserve(n - abandoned);
+      for (size_t i = 0; i < n; ++i) {
+        if (results[i].ok() ||
+            results[i].status().code() !=
+                util::StatusCode::kDeadlineExceeded) {
+          ran.push_back(latencies_us[i]);
+        }
+      }
+      agg.p50_latency_us = util::Percentile(ran, 0.50);
+      agg.p95_latency_us = util::Percentile(ran, 0.95);
+    }
     const core::DescendantPathCache::Counters cache_after =
         estimator_.has_value() ? estimator_->path_cache_counters()
                                : core::DescendantPathCache::Counters{};

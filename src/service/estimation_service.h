@@ -33,6 +33,7 @@
 #define XSKETCH_SERVICE_ESTIMATION_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -121,6 +122,13 @@ struct ServiceOptions {
 struct BatchStats {
   size_t queries = 0;
   size_t failed = 0;              // per-query InvalidArgument results
+  // Deadline accounting (EstimateBatch with a deadline): queries whose
+  // chunk was abandoned because the deadline had passed before the chunk
+  // started. Abandoned queries get DeadlineExceeded results and are not
+  // counted in `failed`; everything finished before the cutoff is
+  // reported normally — the partial-stats contract.
+  size_t abandoned = 0;
+  bool deadline_exceeded = false;
   double wall_ms = 0.0;           // end-to-end batch wall time
   double p50_latency_us = 0.0;    // per-query estimation latency
   double p95_latency_us = 0.0;
@@ -173,13 +181,25 @@ class EstimationService {
   EstimationService(const EstimationService&) = delete;
   EstimationService& operator=(const EstimationService&) = delete;
 
+  // Absolute per-request deadline, on the clock EstimateBatch checks.
+  using Deadline = std::chrono::steady_clock::time_point;
+
   // Estimates every query in `queries`, in parallel, preserving order:
   // result i corresponds to queries[i]. Per-query failures (malformed
   // twigs) surface as failed Results. When `stats` is non-null it
   // receives the batch's aggregate observability.
+  //
+  // Deadline semantics (engaged `deadline`): the deadline is checked at
+  // chunk boundaries — a chunk whose start time is already past it is
+  // abandoned wholesale, its queries get DeadlineExceeded results, and
+  // BatchStats reports the partial picture (completed-query stats plus
+  // `abandoned` / `deadline_exceeded`). Queries already executing when
+  // the deadline passes run to completion: estimation work is short and
+  // chunk-granular cancellation keeps results deterministic per chunk.
   std::vector<util::Result<core::EstimateStats>> EstimateBatch(
       std::span<const query::TwigQuery> queries,
-      BatchStats* stats = nullptr);
+      BatchStats* stats = nullptr,
+      std::optional<Deadline> deadline = std::nullopt);
 
   // Single-query convenience: EstimateChecked on the shared estimator.
   util::Result<core::EstimateStats> Estimate(
@@ -284,6 +304,9 @@ class EstimationService {
     obs::Counter* plan_lookups;
     obs::Counter* plan_hits;
     obs::Counter* plan_evictions;
+    // Batch queries abandoned at a chunk boundary because the request
+    // deadline had already passed.
+    obs::Counter* deadline_abandoned;
     // Queries currently executing across all workers (chunk-granular;
     // Gauge::Add/Sub keep concurrent updates lossless).
     obs::Gauge* inflight;

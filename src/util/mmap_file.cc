@@ -8,11 +8,20 @@
 #include <cerrno>
 #include <cstring>
 
+#include "testing/faultpoints.h"
+
 namespace xsketch::util {
 
 Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
     const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (XS_FAULT("mmap_file.open")) {
+    return Status::NotFound("cannot open " + path +
+                            ": injected fault (mmap_file.open)");
+  }
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     return Status::NotFound("cannot open " + path + ": " +
                             std::strerror(errno));
@@ -30,7 +39,9 @@ Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
   const size_t size = static_cast<size_t>(st.st_size);
   const uint8_t* data = nullptr;
   if (size > 0) {
-    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* map = XS_FAULT("mmap_file.mmap")
+                    ? (errno = ENOMEM, MAP_FAILED)
+                    : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map == MAP_FAILED) {
       const std::string err = std::strerror(errno);
       ::close(fd);

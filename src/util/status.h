@@ -22,6 +22,10 @@ enum class StatusCode {
   kNotFound = 3,
   kOutOfRange = 4,
   kInternal = 5,
+  // Serving-path codes (daemon/service): the request ran out of time
+  // before (or while) executing / the server shed it under overload.
+  kDeadlineExceeded = 6,
+  kUnavailable = 7,
 };
 
 // Value-semantic error descriptor. An engaged message implies failure.
@@ -47,6 +51,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -66,6 +76,8 @@ class Status {
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

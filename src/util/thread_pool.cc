@@ -31,6 +31,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_queued) {
+  XS_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    XS_CHECK_MSG(!shutting_down_, "TrySubmit after ThreadPool::Shutdown");
+    if (queue_.size() >= max_queued) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

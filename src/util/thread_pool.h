@@ -34,6 +34,18 @@ class ThreadPool {
   // Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  // Bounded admission: enqueues `task` only when fewer than `max_queued`
+  // tasks are already waiting (running tasks don't count). Returns false
+  // — and does not enqueue — otherwise, so callers can shed load with an
+  // explicit overload response instead of growing the queue without
+  // bound. TrySubmit after Shutdown is a checked programming error, like
+  // Submit.
+  bool TrySubmit(std::function<void()> task, size_t max_queued);
+
+  // Tasks currently queued and not yet claimed by a worker — the
+  // admission-control signal (export it as a gauge; see the daemon).
+  size_t queue_depth() const;
+
   // Drains the queue, runs every submitted task, and joins all workers.
   // Idempotent; safe to call while tasks are still pending.
   void Shutdown();
@@ -47,7 +59,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_available_;
   std::deque<std::function<void()>> queue_;  // guarded by mu_
   bool shutting_down_ = false;               // guarded by mu_

@@ -18,9 +18,14 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 # cache and the compiler's shared expansion cache;
 # differential_test drives the whole pipeline through 8-thread batch
 # estimation (its runner sets batch_threads = 8), with the sweep size
-# reduced below so sanitizer overhead stays in budget.
+# reduced below so sanitizer overhead stays in budget;
+# faultpoints_test exercises the injected-failure paths (catalog
+# hot-swap rollback included) whose error handling rarely runs clean;
+# daemon_test floods the event-loop server from concurrent client
+# threads — admission shedding, deadline expiry, and drain-under-load
+# are exactly the cross-thread handoffs TSan exists to check.
 TARGETS=(service_test estimator_test builder_test obs_test trace_test
-         compile_test differential_test)
+         compile_test faultpoints_test daemon_test differential_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do
