@@ -9,6 +9,13 @@
 //                       [--audit FRACTION] [--metrics]
 //                                          parallel batch estimation
 //   xsketch_cli exact    <doc> <query>...                 ground truth
+//   xsketch_cli plan    <doc> <query>... [--sketch FILE] [--exact]
+//                       cost-based twig join planning: print the chosen
+//                       join order + cost terms, then execute the plan
+//                       and the naive baseline for real and report the
+//                       match count and intermediate-result sizes
+//                       (--exact plans from ground-truth cardinalities
+//                       instead of XSKETCH estimates)
 //   xsketch_cli stats    <doc>                            document summary
 //   xsketch_cli convert <doc> <sketch.xsk2> <out.xsk3>
 //                       freeze an XSK2 sketch into the mmap-able XSK3
@@ -61,6 +68,8 @@ int Usage() {
                "  xsketch_cli batch <doc> <sketch-file> <workload-file> "
                "[threads] [--audit FRACTION] [--metrics]\n"
                "  xsketch_cli exact <doc> <query>...\n"
+               "  xsketch_cli plan <doc> <query>... [--sketch FILE] "
+               "[--exact]\n"
                "  xsketch_cli stats <doc>\n"
                "  xsketch_cli convert <doc> <sketch.xsk2> <out.xsk3>\n"
                "  xsketch_cli catalog <spec-file> [--budget-mb MB] "
@@ -721,6 +730,113 @@ int main(int argc, char** argv) {
     if (dump_metrics) {
       std::printf("%s",
                   obs::MetricsRegistry::Default().ToPrometheusText().c_str());
+    }
+    return rc;
+  }
+
+  if (cmd == "plan") {
+    std::string sketch_file;
+    bool use_exact = false;
+    std::vector<const char*> query_args;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sketch") {
+        if (++i >= argc) return Usage();
+        sketch_file = argv[i];
+      } else if (arg == "--exact") {
+        use_exact = true;
+      } else {
+        query_args.push_back(argv[i]);
+      }
+    }
+    if (query_args.empty()) return Usage();
+
+    core::TwigXSketch sketch = core::TwigXSketch::Coarsest(doc);
+    if (!sketch_file.empty()) {
+      auto loaded = core::LoadSketchFromFile(sketch_file, doc);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      sketch = std::move(loaded).value();
+    }
+    const core::Estimator estimator(sketch);
+    const query::ExactEvaluator exact(doc);
+    const plan::EstimatorCardinalities est_cards(estimator);
+    const plan::ExactCardinalities exact_cards(exact);
+    const plan::CardinalityProvider& cards =
+        use_exact ? static_cast<const plan::CardinalityProvider&>(exact_cards)
+                  : est_cards;
+
+    const exec::StreamIndex index(doc);
+    const exec::StructuralJoinExecutor executor(index);
+    const exec::HolisticTwigJoin holistic(index);
+
+    int rc = 0;
+    for (const char* arg : query_args) {
+      auto twig = ParseQuery(arg, doc);
+      if (!twig.ok()) {
+        std::fprintf(stderr, "%s: %s\n", arg,
+                     twig.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      auto planned = plan::PlanTwig(twig.value(), cards);
+      if (!planned.ok()) {
+        std::fprintf(stderr, "%s: %s\n", arg,
+                     planned.status().ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      const plan::TwigPlan& p = planned.value();
+      std::printf("%s\n  plan (%s cards): %s\n", arg,
+                  std::string(cards.name()).c_str(), p.ToString().c_str());
+      std::printf(
+          "  cost: input %.1f, binary intermediates %.1f, holistic scan "
+          "%.1f, result estimate %.1f%s\n",
+          p.input_cost, p.binary_cost, p.holistic_cost, p.result_estimate,
+          p.optimized ? "" : "  (naive fallback: twig too wide for the DP)");
+
+      auto chosen = p.use_holistic
+                        ? holistic.Execute(twig.value())
+                        : executor.ExecuteBinary(twig.value(), p.order);
+      auto naive = executor.ExecuteNaive(twig.value());
+      if (!chosen.ok() || !naive.ok()) {
+        std::fprintf(stderr, "%s: %s\n", arg,
+                     (!chosen.ok() ? chosen.status() : naive.status())
+                         .ToString()
+                         .c_str());
+        rc = 1;
+        continue;
+      }
+      const exec::ExecStats& c = chosen.value();
+      const exec::ExecStats& n = naive.value();
+      if (c.matches != n.matches) {
+        std::fprintf(stderr,
+                     "%s: PLAN CHANGED THE RESULT (chosen %llu, naive "
+                     "%llu)\n",
+                     arg, static_cast<unsigned long long>(c.matches),
+                     static_cast<unsigned long long>(n.matches));
+        rc = 1;
+        continue;
+      }
+      if (c.holistic) {
+        std::printf(
+            "  executed holistic: %llu matches, %llu elements scanned, "
+            "%llu stack pushes\n",
+            static_cast<unsigned long long>(c.matches),
+            static_cast<unsigned long long>(c.elements_scanned),
+            static_cast<unsigned long long>(c.stack_pushes));
+      } else {
+        std::printf(
+            "  executed binary: %llu matches, %d joins, %llu logical "
+            "intermediate rows\n",
+            static_cast<unsigned long long>(c.matches), c.joins,
+            static_cast<unsigned long long>(c.logical_rows));
+      }
+      std::printf(
+          "  naive binary baseline: %llu logical intermediate rows\n",
+          static_cast<unsigned long long>(n.logical_rows));
     }
     return rc;
   }

@@ -5,8 +5,8 @@
 #
 #   scripts/bench_record.sh [--out N] [--build DIR]
 #
-# Runs bench/perf_batch, bench/perf_build and bench/perf_synthetic from an
-# existing build tree (default: build/) with pinned, recorded scale knobs
+# Runs bench/perf_batch, bench/perf_plan, bench/perf_build and
+# bench/perf_synthetic from an existing build tree (default: build/) with pinned, recorded scale knobs
 # (override via the usual XS_BENCH_* environment variables — whatever is
 # in effect is written into the snapshot, so two snapshots are comparable
 # iff their "env" blocks match). Output goes to BENCH_<n>.json in the repo
@@ -29,7 +29,8 @@ while [ $# -gt 0 ]; do
   esac
 done
 
-for bin in perf_batch perf_build perf_coldload perf_daemon perf_synthetic; do
+for bin in perf_batch perf_plan perf_build perf_coldload perf_daemon \
+           perf_synthetic; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "missing $BUILD/bench/$bin — build first (cmake --build $BUILD)" >&2
     exit 1
@@ -59,6 +60,8 @@ trap 'rm -rf "$TMP"' EXIT
 
 echo "recording perf_batch ..." >&2
 "$BUILD/bench/perf_batch" > "$TMP/perf_batch.txt"
+echo "recording perf_plan ..." >&2
+"$BUILD/bench/perf_plan" > "$TMP/perf_plan.txt"
 echo "recording perf_build ..." >&2
 "$BUILD/bench/perf_build" > "$TMP/perf_build.txt"
 echo "recording perf_coldload ..." >&2
@@ -89,6 +92,22 @@ batch_rows() {
     /^traced /    { printf "%s\n      {\"row\": \"traced\", \"qps\": %s, \"speedup\": %s}", sep, $2, substr($4, 1, length($4)-1); sep="," }
     /^ *[0-9]+ threads/ && / q\/s / {
       printf "%s\n      {\"row\": \"%s threads\", \"qps\": %s, \"speedup\": %s, \"p50_us\": %s, \"p95_us\": %s}", sep, $1, $3, substr($5, 1, length($5)-1), $7, $10; sep=","
+    }
+  ' "$1"
+}
+
+# perf_plan rows (per [P] / [P+V] workload section):
+#   estimate  logical        13385    1.00x   plan 3.5 ms   exec 3.5 ms ...
+#   routed    76/100 holistic   mixed 11.8 ms   all-binary ...
+plan_rows() {
+  awk '
+    /^\[/ { wl = substr($1, 2, length($1) - 2) }
+    /^ +(estimate|exact|naive) +logical/ {
+      printf "%s\n      {\"workload\": \"%s\", \"strategy\": \"%s\", \"logical_rows\": %s, \"vs_exact\": %s}", sep, wl, $1, $3, substr($4, 1, length($4)-1); sep=","
+    }
+    /^ +routed/ {
+      split($2, a, "/");
+      printf "%s\n      {\"workload\": \"%s\", \"strategy\": \"routed\", \"holistic_chosen\": %s, \"queries\": %s, \"mixed_ms\": %s}", sep, wl, a[1], a[2], $5; sep=","
     }
   ' "$1"
 }
@@ -161,6 +180,11 @@ GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
   echo "  \"perf_batch\": {"
   echo "    \"raw\": $(raw_json "$TMP/perf_batch.txt"),"
   echo "    \"rows\": [$(batch_rows "$TMP/perf_batch.txt")"
+  echo "    ]"
+  echo "  },"
+  echo "  \"perf_plan\": {"
+  echo "    \"raw\": $(raw_json "$TMP/perf_plan.txt"),"
+  echo "    \"rows\": [$(plan_rows "$TMP/perf_plan.txt")"
   echo "    ]"
   echo "  },"
   echo "  \"perf_build\": {"

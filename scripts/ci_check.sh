@@ -16,7 +16,10 @@
 # estimator on a fixed single-thread workload) and bench_trace (the
 # compiled row with tracing instrumentation present but unsampled must
 # stay within 2% of the uninstrumented loop; override the budget with
-# XS_BENCH_TRACE_MAX_OVERHEAD).
+# XS_BENCH_TRACE_MAX_OVERHEAD). perf_plan --delta then gates plan
+# quality: join orders picked from XSKETCH estimates must stay within
+# 1.2x of true-cardinality plans' summed intermediate-result size
+# (override with XS_BENCH_PLAN_MAX_RATIO).
 #
 # Fuzzers build via -DXSKETCH_FUZZERS=ON (libFuzzer under clang, the
 # standalone replay/mutation driver under gcc) and get a short
@@ -87,6 +90,14 @@ echo "=== bench gates: bench_trace (tracing overhead) + bench_delta ==="
 [ -x "$BUILD/bench/perf_batch" ] ||
   { echo "ci_check: missing $BUILD/bench/perf_batch" >&2; exit 1; }
 "$BUILD/bench/perf_batch" --delta
+
+echo "=== bench gate: bench_plan (estimate-driven join orders) ==="
+# Estimate-planned twig join orders must stay within 1.2x of the
+# true-cardinality plans' summed intermediate-result size on the pinned
+# P and P+V workloads (override: XS_BENCH_PLAN_MAX_RATIO).
+[ -x "$BUILD/bench/perf_plan" ] ||
+  { echo "ci_check: missing $BUILD/bench/perf_plan" >&2; exit 1; }
+"$BUILD/bench/perf_plan" --delta
 
 echo "=== fuzz smoke (10s per target) ==="
 for f in fuzz_parser fuzz_xpath fuzz_sketch_load fuzz_xsk3_load; do

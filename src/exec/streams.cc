@@ -1,0 +1,88 @@
+#include "exec/streams.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace xsketch::exec {
+
+StreamIndex::StreamIndex(const xml::Document& doc) : doc_(doc) {
+  XS_CHECK_MSG(doc.sealed(), "StreamIndex requires a sealed document");
+  const size_t n = doc.size();
+  start_.resize(n);
+  end_.resize(n);
+  level_.resize(n);
+  if (n == 0) return;
+
+  // Iterative preorder DFS. The explicit stack holds (node, next phase):
+  // an element's end rank is known only after its whole subtree is
+  // ranked, so each node is visited twice — once to stamp `start`, once
+  // (after its children) to stamp `end`.
+  struct Frame {
+    xml::NodeId node;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({doc.root(), false});
+  uint32_t rank = 0;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.expanded) {
+      end_[top.node] = rank;
+      stack.pop_back();
+      continue;
+    }
+    top.expanded = true;
+    const xml::NodeId id = top.node;
+    start_[id] = rank++;
+    level_[id] = (id == doc.root()) ? 0 : level_[doc.parent(id)] + 1;
+    // Push children in reverse document order so they pop in order.
+    const size_t first_child_frame = stack.size();
+    doc.ForEachChild(id, [&](xml::NodeId c) {
+      stack.push_back({c, false});
+    });
+    std::reverse(stack.begin() + first_child_frame, stack.end());
+  }
+}
+
+std::vector<StreamEntry> StreamIndex::Stream(xml::TagId tag) const {
+  std::vector<StreamEntry> out;
+  if (tag >= doc_.tag_count()) return out;  // absent label: empty stream
+  const auto& nodes = doc_.NodesWithTag(tag);
+  out.reserve(nodes.size());
+  for (xml::NodeId id : nodes) out.push_back(Entry(id));
+  // NodesWithTag is document-ordered and NodeId order is insertion
+  // order, not preorder (generated documents grow breadth-first), so
+  // restore start order explicitly.
+  std::sort(out.begin(), out.end(),
+            [](const StreamEntry& a, const StreamEntry& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+size_t StreamIndex::StreamSize(xml::TagId tag) const {
+  if (tag >= doc_.tag_count()) return 0;
+  return doc_.NodesWithTag(tag).size();
+}
+
+bool StreamIndex::MatchesValue(
+    xml::NodeId id, const std::optional<query::ValuePredicate>& pred) const {
+  if (!pred.has_value()) return true;
+  const auto v = doc_.numeric_value(id);
+  return v.has_value() && pred->Matches(*v);
+}
+
+std::vector<StreamEntry> StreamIndex::Stream(const query::TwigQuery& twig,
+                                             int t) const {
+  const auto& node = twig.node(t);
+  std::vector<StreamEntry> out = Stream(node.tag);
+  if (node.pred.has_value()) {
+    std::erase_if(out, [&](const StreamEntry& e) {
+      return !MatchesValue(e.node, node.pred);
+    });
+  }
+  return out;
+}
+
+}  // namespace xsketch::exec

@@ -1,0 +1,87 @@
+// Per-label node streams: the access path of the structural-join
+// executors (src/exec), in the spirit of the element-index label streams
+// surveyed in "Indices in XML Databases" and used by every
+// structural-join study since Al-Khalifa et al.
+//
+// Each document element gets a region encoding (start, end, level):
+// `start` is its preorder rank, `end` is one past the preorder rank of
+// its last descendant (so the element's subtree is exactly the rank
+// interval [start, end)), and `level` is its depth. The two structural
+// axes reduce to interval arithmetic:
+//
+//   a ancestor-of d      <=>  a.start < d.start  &&  d.start < a.end
+//   a parent-of  d       <=>  a ancestor-of d    &&  d.level == a.level + 1
+//
+// (d.start < a.end already implies d.end <= a.end: preorder intervals of
+// a tree are properly nested.) A *stream* is the document-order (==
+// start-order) sequence of encoded elements carrying one label; the
+// executors only ever scan streams and probe their sorted start ranks,
+// never the document tree — except for the parent-pointer walk of
+// upward (ancestor-attaching) binary joins.
+
+#ifndef XSKETCH_EXEC_STREAMS_H_
+#define XSKETCH_EXEC_STREAMS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/twig.h"
+#include "xml/document.h"
+
+namespace xsketch::exec {
+
+// One stream element. 16 bytes, start-ordered within a stream.
+struct StreamEntry {
+  uint32_t start = 0;  // preorder rank
+  uint32_t end = 0;    // one past the last descendant's preorder rank
+  uint32_t level = 0;  // depth; the document root is level 0
+  xml::NodeId node = xml::kInvalidNode;
+};
+
+// Region encoding of a sealed document plus its per-label streams.
+// Immutable after construction; safe to share across threads. The
+// document must outlive the index.
+class StreamIndex {
+ public:
+  explicit StreamIndex(const xml::Document& doc);
+
+  const xml::Document& doc() const { return doc_; }
+
+  // Region-encoding accessors for one element.
+  uint32_t start(xml::NodeId id) const { return start_[id]; }
+  uint32_t end(xml::NodeId id) const { return end_[id]; }
+  uint32_t level(xml::NodeId id) const { return level_[id]; }
+  StreamEntry Entry(xml::NodeId id) const {
+    return {start_[id], end_[id], level_[id], id};
+  }
+
+  // The stream for `tag`: every element carrying it, start-ordered.
+  // Tags outside the document's tag table (e.g. query::kUnknownTag) have
+  // an empty stream. Streams are materialized lazily but the spine is
+  // precomputed, so this is cheap and lock-free.
+  std::vector<StreamEntry> Stream(xml::TagId tag) const;
+
+  // |extent(tag)| without materializing the stream.
+  size_t StreamSize(xml::TagId tag) const;
+
+  // The stream for twig node `t`: Stream(tag) narrowed to elements
+  // passing t's value predicate (non-numeric values never match, exactly
+  // as query::ExactEvaluator::MatchesValue). The node's axis and
+  // existential flag are NOT applied here — those belong to the join.
+  std::vector<StreamEntry> Stream(const query::TwigQuery& twig, int t) const;
+
+  // Whether element `id` passes `pred` (nullopt passes everything).
+  bool MatchesValue(xml::NodeId id,
+                    const std::optional<query::ValuePredicate>& pred) const;
+
+ private:
+  const xml::Document& doc_;
+  std::vector<uint32_t> start_;  // indexed by NodeId
+  std::vector<uint32_t> end_;
+  std::vector<uint32_t> level_;
+};
+
+}  // namespace xsketch::exec
+
+#endif  // XSKETCH_EXEC_STREAMS_H_

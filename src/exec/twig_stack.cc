@@ -1,0 +1,119 @@
+#include "exec/twig_stack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace xsketch::exec {
+
+namespace {
+
+using query::Axis;
+using query::TwigQuery;
+
+}  // namespace
+
+util::Result<ExecStats> HolisticTwigJoin::Execute(
+    const TwigQuery& twig) const {
+  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  const BindingSkeleton skeleton = MakeBindingSkeleton(twig);
+  const xml::Document& doc = index_.doc();
+  const int m = twig.size();
+
+  ExecStats stats;
+  stats.holistic = true;
+
+  // Merge the streams of every distinct label the twig mentions. Each
+  // document element carries one tag, so the union is duplicate-free.
+  std::vector<xml::TagId> tags;
+  tags.reserve(m);
+  for (int t = 0; t < m; ++t) tags.push_back(twig.node(t).tag);
+  std::sort(tags.begin(), tags.end());
+  tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+  std::vector<StreamEntry> merged;
+  for (xml::TagId tag : tags) {
+    const std::vector<StreamEntry> s = index_.Stream(tag);
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const StreamEntry& a, const StreamEntry& b) {
+              return a.start < b.start;
+            });
+
+  struct Frame {
+    StreamEntry e;
+    size_t acc;  // offset of this frame's accumulators in `arena`
+  };
+  std::vector<Frame> stack;
+  // Flat accumulator arena: 2*m uint64 per frame — [child_sum x m]
+  // [desc_sum x m]. Frames pop LIFO, so the arena grows and shrinks like
+  // a stack too.
+  std::vector<uint64_t> arena;
+  std::vector<uint64_t> val(m);
+  uint64_t total = 0;
+  const bool desc_root = twig.node(twig.root()).axis == Axis::kDescendant;
+
+  auto pop_and_fold = [&]() {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const uint64_t* child_sum = arena.data() + f.acc;
+    const uint64_t* desc_sum = arena.data() + f.acc + m;
+    // counts(t, e) for every twig node, children (larger ids) first.
+    for (int t = m - 1; t >= 0; --t) {
+      const auto& node = twig.node(t);
+      val[t] = 0;
+      if (doc.tag(f.e.node) != node.tag) continue;
+      if (!index_.MatchesValue(f.e.node, node.pred)) continue;
+      uint64_t product = 1;
+      for (int c : node.children) {
+        const uint64_t sum = twig.node(c).axis == Axis::kChild
+                                 ? child_sum[c]
+                                 : desc_sum[c];
+        // Existential children (and everything below an existential
+        // node) contribute an EXISTS indicator; binding children their
+        // tuple sum. Indicator sums never wrap (counts of 0/1 values),
+        // and a zero factor zeroes the product exactly as the
+        // evaluator's early-out does.
+        const uint64_t factor =
+            skeleton.effective_existential[c] ? (sum != 0 ? 1 : 0) : sum;
+        if (factor == 0) {
+          product = 0;
+          break;
+        }
+        product *= factor;
+      }
+      val[t] = product;
+    }
+    if (!stack.empty()) {
+      const Frame& p = stack.back();
+      uint64_t* p_child = arena.data() + p.acc;
+      uint64_t* p_desc = arena.data() + p.acc + m;
+      // An enclosed element one level below the enclosing frame is its
+      // direct child (the ancestor at that level is unique).
+      const bool is_child = (f.e.level == p.e.level + 1);
+      for (int t = 0; t < m; ++t) {
+        p_desc[t] += val[t] + desc_sum[t];
+        if (is_child) p_child[t] += val[t];
+      }
+    }
+    if (desc_root || f.e.start == 0) total += val[twig.root()];
+    arena.resize(f.acc);
+  };
+
+  for (const StreamEntry& e : merged) {
+    while (!stack.empty() && stack.back().e.end <= e.start) pop_and_fold();
+    const size_t acc = arena.size();
+    arena.resize(acc + 2 * static_cast<size_t>(m), 0);
+    stack.push_back({e, acc});
+    ++stats.stack_pushes;
+    ++stats.elements_scanned;
+  }
+  while (!stack.empty()) pop_and_fold();
+
+  stats.matches = total;
+  stats.input_rows = merged.size();
+  return stats;
+}
+
+}  // namespace xsketch::exec

@@ -1,0 +1,59 @@
+// Holistic twig-join counting: the TwigStack-style alternative to the
+// binary structural joins of exec/structural_join.h.
+//
+// Instead of joining the twig edge by edge through intermediate
+// relations, the holistic operator merges the streams of every label the
+// twig mentions into one document-order scan and maintains a stack of
+// open elements (exactly the ancestor chain of the scan position,
+// restricted to stream elements). Each stack frame carries, per twig
+// node t, two accumulators over the frame's already-closed enclosed
+// elements:
+//
+//   child_sum[t]  sum of counts(t, e') over direct children e'
+//   desc_sum[t]   sum of counts(t, e') over all proper descendants e'
+//
+// When a frame closes, counts(t, e) for every twig node is computed from
+// the accumulators exactly as ExactEvaluator's dynamic program does —
+// binding children contribute their (child or descendant) sum as a
+// factor, existential children an is-nonzero indicator — then folded
+// into the enclosing frame. Because an enclosed element one level down
+// is necessarily a direct child, child sums need no parent pointers: the
+// whole pass runs on region-encoded streams alone.
+//
+// One scan of the merged streams, O(|streams| * |twig|) work, zero
+// intermediate results — the profile that made holistic joins the
+// default in the "Demythization of Structural XML Query Processing"
+// study, and the cost shape the planner (src/plan) weighs against binary
+// join orders. The returned count is bit-identical to
+// ExactEvaluator::Selectivity (same uint64 ring arithmetic).
+
+#ifndef XSKETCH_EXEC_TWIG_STACK_H_
+#define XSKETCH_EXEC_TWIG_STACK_H_
+
+#include "exec/streams.h"
+#include "exec/structural_join.h"
+#include "query/twig.h"
+#include "util/status.h"
+
+namespace xsketch::exec {
+
+// Stateless apart from the shared immutable index; safe to use from many
+// threads concurrently. The index must outlive the operator.
+class HolisticTwigJoin {
+ public:
+  explicit HolisticTwigJoin(const StreamIndex& index) : index_(index) {}
+
+  // Exact binding-tuple count of a validated twig. ExecStats reports
+  // holistic accounting (elements_scanned, stack_pushes); matches is
+  // bit-identical to ExactEvaluator and to StructuralJoinExecutor.
+  util::Result<ExecStats> Execute(const query::TwigQuery& twig) const;
+
+  const StreamIndex& index() const { return index_; }
+
+ private:
+  const StreamIndex& index_;
+};
+
+}  // namespace xsketch::exec
+
+#endif  // XSKETCH_EXEC_TWIG_STACK_H_

@@ -1,0 +1,25 @@
+#include "plan/cardinality.h"
+
+namespace xsketch::plan {
+
+util::Result<double> EstimatorCardinalities::Cardinality(
+    const query::TwigQuery& twig) const {
+  auto stats = estimator_.EstimateChecked(twig);
+  if (!stats.ok()) return stats.status();
+  return stats.value().estimate;
+}
+
+util::Result<double> ServiceCardinalities::Cardinality(
+    const query::TwigQuery& twig) const {
+  auto plan = service_.Prepare(twig);
+  if (!plan.ok()) return plan.status();
+  return plan.value()->Execute();
+}
+
+util::Result<double> ExactCardinalities::Cardinality(
+    const query::TwigQuery& twig) const {
+  if (util::Status st = twig.Validate(); !st.ok()) return st;
+  return static_cast<double>(exact_.Selectivity(twig));
+}
+
+}  // namespace xsketch::plan

@@ -8,8 +8,13 @@
 #include "core/estimator.h"
 #include "core/frozen_io.h"
 #include "core/serialize.h"
+#include "exec/streams.h"
+#include "exec/structural_join.h"
+#include "exec/twig_stack.h"
 #include "obs/explain.h"
 #include "obs/flight.h"
+#include "plan/cardinality.h"
+#include "plan/planner.h"
 #include "query/evaluator.h"
 #include "service/estimation_service.h"
 #include "testing/seed.h"
@@ -344,6 +349,79 @@ void CheckSketch(const DifferentialOptions& options, DocShape shape,
   }
 }
 
+// Executor-oracle invariants: both structural-join executors must agree
+// with ExactEvaluator bit for bit, on every query, whatever join order
+// the planner picks. `exact_counts` is the ground truth already computed
+// by CheckDocument; `sketch` feeds the planner's cardinality estimates
+// (plans must never change results, only work).
+void CheckExecutors(const DifferentialOptions& options, DocShape shape,
+                    uint64_t doc_seed, const xml::Document& doc,
+                    const core::TwigXSketch& sketch,
+                    const std::vector<query::TwigQuery>& queries,
+                    const std::vector<uint64_t>& exact_counts, int only_query,
+                    DifferentialReport* report) {
+  Checker check(shape, doc_seed, report);
+  const util::StringInterner& tags = doc.tags();
+  const exec::StreamIndex index(doc);
+  const exec::StructuralJoinExecutor executor(index);
+  const exec::HolisticTwigJoin holistic(index);
+  const core::Estimator estimator(sketch, EstimatorOptionsFor(options, shape));
+  const plan::EstimatorCardinalities cards(estimator);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (only_query >= 0 && static_cast<int>(i) != only_query) continue;
+    const query::TwigQuery& q = queries[i];
+    const int qi = static_cast<int>(i);
+    const uint64_t exact = exact_counts[i];
+
+    const auto h = holistic.Execute(q);
+    if (check.Check(h.ok(), "exec/holistic-accepts", qi, q, tags,
+                    "holistic executor rejected a valid query: " +
+                        h.status().ToString())) {
+      check.Check(h.value().matches == exact, "exec/holistic-exact", qi, q,
+                  tags,
+                  "holistic count " + std::to_string(h.value().matches) +
+                      " != exact " + std::to_string(exact));
+    }
+
+    // Binary joins can exceed the emitted-row cap on adversarial
+    // (document, query) pairs; that is a documented resource guard, not
+    // a disagreement, so OutOfRange skips the comparison.
+    const auto naive = executor.ExecuteNaive(q);
+    if (naive.status().code() != util::StatusCode::kOutOfRange &&
+        check.Check(naive.ok(), "exec/binary-accepts", qi, q, tags,
+                    "binary executor rejected a valid query: " +
+                        naive.status().ToString())) {
+      check.Check(naive.value().matches == exact, "exec/binary-naive-exact",
+                  qi, q, tags,
+                  "naive-order binary count " +
+                      std::to_string(naive.value().matches) + " != exact " +
+                      std::to_string(exact));
+    }
+
+    plan::PlannerOptions popts;
+    popts.consider_holistic = false;  // force a join order to test
+    const auto planned = plan::PlanTwig(q, cards, popts);
+    if (!check.Check(planned.ok(), "exec/plan-accepts", qi, q, tags,
+                     "planner rejected a valid query: " +
+                         planned.status().ToString())) {
+      continue;
+    }
+    const auto chosen = executor.ExecuteBinary(q, planned.value().order);
+    if (chosen.status().code() != util::StatusCode::kOutOfRange &&
+        check.Check(chosen.ok(), "exec/planned-accepts", qi, q, tags,
+                    "planned join order failed to execute: " +
+                        chosen.status().ToString())) {
+      check.Check(chosen.value().matches == exact, "exec/binary-planned-exact",
+                  qi, q, tags,
+                  "planned-order binary count " +
+                      std::to_string(chosen.value().matches) + " != exact " +
+                      std::to_string(exact) + " (plan " +
+                      planned.value().ToString() + ")");
+    }
+  }
+}
+
 void CheckDocument(const DifferentialOptions& options, DocShape shape,
                    uint64_t doc_seed, int only_query,
                    DifferentialReport* report) {
@@ -376,6 +454,13 @@ void CheckDocument(const DifferentialOptions& options, DocShape shape,
   const core::TwigXSketch coarsest = core::TwigXSketch::Coarsest(doc, copts);
   CheckSketch(options, shape, doc_seed, doc, coarsest, "coarsest", queries,
               exact_counts, only_query, report);
+
+  // Executor oracle: binary (naive and planner-chosen orders) and
+  // holistic structural joins must reproduce the exact counts bit for
+  // bit. Planned orders are driven by coarsest-sketch estimates — the
+  // production configuration, where estimates steer work, never results.
+  CheckExecutors(options, shape, doc_seed, doc, coarsest, queries,
+                 exact_counts, only_query, report);
 
   if (options.build_refined) {
     core::BuildOptions bopts;

@@ -19,6 +19,12 @@
 //   round-trip    SaveSketch -> LoadSketch -> re-estimate is bit-identical
 //   exactness     on perfectly-stable documents (DocShape::kStable),
 //                 structural estimates equal the exact evaluator's counts
+//   executors     the structural-join executors (src/exec) reproduce the
+//                 exact evaluator's counts bit for bit: binary joins in
+//                 the naive syntactic order AND in whatever order the
+//                 cost-based planner picks from coarsest-sketch
+//                 estimates, plus the holistic twig join — estimates
+//                 steer work, never results
 //
 // The traced service doubles as a flight-recorder smoke test: every
 // generated query runs with the recorder on, and any failure's repro

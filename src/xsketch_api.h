@@ -24,6 +24,11 @@
 //   service::   EstimationService — the concurrent batch engine the
 //               Tier-1 Session wraps — plus SketchCatalog and
 //               CanonicalTwigKey (the plan-cache / flight-record key)
+//   exec::      StreamIndex (region-encoded label streams),
+//               StructuralJoinExecutor (binary joins) and
+//               HolisticTwigJoin — exact twig counting over documents
+//   plan::      PlanTwig + CardinalityProvider — cost-based join
+//               ordering driven by XSKETCH estimates (Session::Plan)
 //   obs::       MetricsRegistry, ExplainTrace, Tracer + SpanScope
 //               (structural tracing), FlightRecorder (last-N query
 //               post-mortems)
@@ -56,6 +61,9 @@
 
 #include "core/builder.h"
 #include "core/compile.h"
+#include "exec/streams.h"
+#include "exec/structural_join.h"
+#include "exec/twig_stack.h"
 #include "core/estimator.h"
 #include "core/frozen.h"
 #include "core/frozen_io.h"
@@ -66,6 +74,8 @@
 #include "data/swissprot.h"
 #include "data/xmark.h"
 #include "obs/explain.h"
+#include "plan/cardinality.h"
+#include "plan/planner.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -187,6 +197,18 @@ class Session {
       std::span<const query::TwigQuery> queries,
       service::BatchStats* stats = nullptr) const {
     return service_->EstimateBatch(queries, stats);
+  }
+
+  // Cost-based join planning for `twig` with cardinalities from this
+  // session's sketch (served through the compiled Prepare/Execute path,
+  // so repeated sub-twig shapes hit the plan cache). The returned plan
+  // drives exec::StructuralJoinExecutor / exec::HolisticTwigJoin against
+  // the actual document — see plan/planner.h for the cost model.
+  util::Result<plan::TwigPlan> Plan(
+      const query::TwigQuery& twig,
+      const plan::PlannerOptions& options = {}) const {
+    plan::ServiceCardinalities cards(*service_);
+    return plan::PlanTwig(twig, cards, options);
   }
 
   // Full explain trace of one estimate, via the reference interpreter

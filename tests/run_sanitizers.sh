@@ -23,9 +23,15 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 # hot-swap rollback included) whose error handling rarely runs clean;
 # daemon_test floods the event-loop server from concurrent client
 # threads — admission shedding, deadline expiry, and drain-under-load
-# are exactly the cross-thread handoffs TSan exists to check.
+# are exactly the cross-thread handoffs TSan exists to check;
+# exec_test runs the executor differential sweep (stateless operators
+# over a shared immutable StreamIndex — ASan checks the range probes);
+# plan_test hammers Session::Plan and Prepare from concurrent threads
+# (the planner's cardinality calls ride the service's LRU plan cache,
+# the same shared state compile_test covers, now under a second caller).
 TARGETS=(service_test estimator_test builder_test obs_test trace_test
-         compile_test faultpoints_test daemon_test differential_test)
+         compile_test faultpoints_test daemon_test exec_test plan_test
+         differential_test)
 MODES=("${@:-thread address}")
 
 for MODE in ${MODES[@]}; do
